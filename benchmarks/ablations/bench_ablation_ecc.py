@@ -1,0 +1,100 @@
+"""Extension — SEC-ECC over 6T cells versus significance-driven hybrid.
+
+The conventional reliability answer to failing bitcells is an error-
+correcting code, not cell redesign.  This bench pits a (12,8) Hamming
+SEC code over plain 6T cells against the paper's hybrid (3,5) word at
+the 0.65 V operating point, on all three axes:
+
+* accuracy — ECC corrects single failures but the 0.65 V failure rate
+  makes multi-bit words common, and those corrupt MSBs; the hybrid
+  zeroes MSB exposure outright;
+* area — ECC needs 4 extra 6T cells per 8-bit word (+50%) vs the
+  hybrid's +13.9%;
+* access energy — ECC reads 12 cells + decode logic per word.
+
+This is the head-to-head the paper implies but does not run; it shows
+why significance-driven spatial protection is the right tool in this
+failure regime.
+"""
+
+from benchmarks.conftest import once
+from repro.core import format_table
+from repro.fault.evaluate import evaluate_under_faults
+from repro.mem.ecc import EccFaultInjector, SecCode, ecc_area_factor, ecc_energy_factor
+
+VDD = 0.65
+
+
+def test_ecc_vs_hybrid(benchmark, sim, emit):
+    model = sim.model
+    code = SecCode(n_data=model.image.fmt.n_bits)
+    baseline = sim.baseline_memory()
+
+    def run():
+        outcomes = {}
+
+        # Hybrid (3,5) at 0.65 V — the paper's design point.
+        hybrid = sim.config1_memory(VDD, msb_in_8t=3)
+        outcomes["hybrid (3,5)"] = (
+            sim.evaluate(hybrid, seed=91),
+            sim.compare(hybrid).access_power_reduction_pct,
+            sim.compare(hybrid).area_overhead_pct,
+        )
+
+        # ECC over the all-6T memory at 0.65 V.
+        plain = sim.base_memory(VDD)
+        ecc_injector = EccFaultInjector(
+            [b.bit_error_rates(VDD) for b in plain.banks], code=code
+        )
+        ecc_eval = evaluate_under_faults(
+            model.network, model.image, ecc_injector,
+            model.dataset.x_test, model.dataset.y_test,
+            n_trials=5, seed=92,
+        )
+        raw = sim.compare(plain)
+        area_pct = 100.0 * (ecc_area_factor(code)
+                            * plain.area / baseline.area - 1.0)
+        power_pct = 100.0 * (
+            1.0 - ecc_energy_factor(code)
+            * plain.access_power / baseline.access_power
+        )
+        del raw
+        outcomes["SEC-ECC 6T (12,8)"] = (ecc_eval, power_pct, area_pct)
+
+        # Unprotected 6T for reference.
+        outcomes["plain 6T"] = (
+            sim.evaluate(plain, seed=93),
+            sim.compare(plain).access_power_reduction_pct,
+            sim.compare(plain).area_overhead_pct,
+        )
+        return outcomes
+
+    outcomes = once(benchmark, run)
+
+    rows = [
+        [label, 100 * ev.mean_accuracy, 100 * ev.accuracy_drop, power, area]
+        for label, (ev, power, area) in outcomes.items()
+    ]
+    emit(
+        "ablation_ecc",
+        format_table(
+            ["protection @ 0.65 V", "accuracy %", "drop %",
+             "access-power red. % (vs 6T@0.75V)", "area overhead %"],
+            rows, float_fmt="{:.2f}",
+        ),
+    )
+
+    hybrid_eval, hybrid_power, hybrid_area = outcomes["hybrid (3,5)"]
+    ecc_eval, ecc_power, ecc_area = outcomes["SEC-ECC 6T (12,8)"]
+    plain_eval, _, _ = outcomes["plain 6T"]
+
+    # ECC genuinely helps over no protection...
+    assert ecc_eval.mean_accuracy > plain_eval.mean_accuracy + 0.05
+
+    # ...but the hybrid dominates it on accuracy AND area at this
+    # failure rate (the headline of the comparison).
+    assert hybrid_eval.mean_accuracy >= ecc_eval.mean_accuracy - 0.002
+    assert hybrid_area < ecc_area
+
+    # ECC's extra cells also erode the power saving.
+    assert hybrid_power > ecc_power

@@ -1,0 +1,71 @@
+"""Ablation — fixed-point word format and MSB significance.
+
+The damage an unprotected bit failure causes is set by the bit's
+positional weight.  The benchmark model trains with |w| < 1 and uses the
+sub-unity Q0.7 layout; re-quantizing the same network into formats with
+integer bits (Q1.6, Q2.5) inflates every bit's weight and therefore the
+damage of the *same* physical failure pattern.  This isolates a design
+choice the paper fixes implicitly (its toolbox produces sub-unity
+weights) and shows the protection requirement is format-dependent.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.core import format_table
+from repro.fault.evaluate import evaluate_under_faults
+from repro.nn.quantize import QFormat, quantize_network
+
+#: Uniform stress applied to every bit of every word (BER of the 6T
+#: array at ~0.65 V).
+STRESS_BER = 0.028
+
+
+def test_qformat_ablation(benchmark, model, emit):
+    from repro.fault.injector import WeightFaultInjector
+    from repro.fault.model import BitErrorRates
+
+    def rates(n_bits):
+        return BitErrorRates(
+            vdd=0.65, n_bits=n_bits, msb_in_8t=0,
+            p_read=np.full(n_bits, STRESS_BER), p_write=np.zeros(n_bits),
+        )
+
+    def run():
+        outcomes = {}
+        for frac in (7, 6, 5):
+            fmt = QFormat(n_bits=8, frac_bits=frac)
+            image = quantize_network(model.network, fmt=fmt)
+            injector = WeightFaultInjector([rates(8)] * image.n_layers)
+            outcomes[f"Q{7 - frac}.{frac}"] = evaluate_under_faults(
+                model.network, image, injector,
+                model.dataset.x_test, model.dataset.y_test,
+                n_trials=5, seed=43,
+            )
+        return outcomes
+
+    outcomes = once(benchmark, run)
+    rows = [
+        [fmt, 100 * ev.baseline_accuracy, 100 * ev.mean_accuracy,
+         100 * ev.accuracy_drop]
+        for fmt, ev in outcomes.items()
+    ]
+    emit(
+        "ablation_qformat",
+        format_table(
+            ["format (int.frac)", "clean accuracy %", "faulty accuracy %",
+             "drop %"],
+            rows, float_fmt="{:.2f}",
+        ),
+    )
+
+    # Baselines: every format represents the clipped weights fine.
+    for ev in outcomes.values():
+        assert ev.baseline_accuracy > 0.95
+
+    # Under identical physical failure rates, coarser formats (larger bit
+    # weights) are hit harder: Q0.7 < Q1.6 < Q2.5 damage ordering.
+    drop_q07 = outcomes["Q0.7"].accuracy_drop
+    drop_q16 = outcomes["Q1.6"].accuracy_drop
+    drop_q25 = outcomes["Q2.5"].accuracy_drop
+    assert drop_q07 < drop_q16 < drop_q25

@@ -1,0 +1,71 @@
+"""Paper Fig. 5 — bitcell failure rates versus supply voltage.
+
+(a) read-access failure rate and (b) write failure rate of the 6T cell
+across the characterized voltage grid (0.60-0.95 V; the paper plots
+0.65-0.95 V), plus the 8T cell judged against the same (6T) read budget.
+The raw Monte-Carlo/Gaussian-tail estimates are reported without the
+interpolation floor so the deep tails stay visible, as on the paper's
+log axes.
+
+The paper's qualitative findings, asserted below:
+
+* read-access failures dominate write failures in the 6T cell at scaled
+  voltages (Fig. 5);
+* read-disturb failures are negligible for the 6T cell (Sec. V);
+* the 8T cell's failures are negligible across the voltage range of
+  interest (Sec. V).
+"""
+
+from benchmarks.conftest import once
+from repro.core import format_table
+
+
+def test_fig5_failure_rates_vs_vdd(benchmark, tables, emit):
+    table6 = tables.table_6t
+    table8 = tables.table_8t
+
+    def collect():
+        rows = []
+        for p6, p8 in zip(table6.points, table8.points):
+            rows.append(
+                [p6.vdd, f"{p6.p_read_access:.3e}", f"{p6.p_write:.3e}",
+                 f"{p6.p_read_disturb:.3e}", f"{p8.p_cell:.3e}"]
+            )
+        return rows
+
+    rows = once(benchmark, collect)
+    emit(
+        "fig5_failure_rates",
+        format_table(
+            ["VDD", "6T P(read access)", "6T P(write)",
+             "6T P(read disturb)", "8T P(any)"],
+            rows,
+        ),
+    )
+
+    by_vdd6 = {p.vdd: p for p in table6.points}
+    by_vdd8 = {p.vdd: p for p in table8.points}
+    paper_range = [v for v in sorted(by_vdd6) if v >= 0.65]
+
+    # Fig. 5 series shape: failures grow monotonically as VDD scales down.
+    p_ra = [by_vdd6[v].p_read_access for v in sorted(by_vdd6)]
+    assert all(a >= b for a, b in zip(p_ra, p_ra[1:])), \
+        "read-access failure rate must fall as VDD rises"
+
+    # Read access dominates write failures at scaled voltage (Fig. 5),
+    # checked wherever either is resolvable.
+    for vdd in (0.60, 0.65, 0.70):
+        point = by_vdd6[vdd]
+        assert point.p_read_access > 10 * point.p_write
+
+    # Write failures do exist — they surface below the paper's range.
+    assert by_vdd6[0.60].p_write > 1e-8
+
+    # Disturb failures negligible (Sec. V).
+    assert all(by_vdd6[v].p_read_disturb < 1e-6 for v in paper_range)
+
+    # 8T negligible across the range of interest (Sec. V).
+    assert all(by_vdd8[v].p_cell < 1e-4 for v in paper_range)
+
+    # The 6T failure floor at 0.65 V is catastrophic for MSBs (Sec. VI-A).
+    assert by_vdd6[0.65].p_read_access > 1e-3

@@ -1,0 +1,73 @@
+"""Paper Fig. 6 — read / write / leakage power versus supply voltage.
+
+Regenerates the three panels for both cells at iso-voltage (shared 6T
+array clock) and asserts the paper's measured overhead anchors:
+"an 8T bitcell consumes roughly 20% more read and write power, and 47%
+more leakage power than a 6T bitcell under iso-voltage conditions",
+plus the 37% area overhead.
+"""
+
+from benchmarks.conftest import once
+from repro.core import format_table
+from repro.sram import area_overhead_8t_vs_6t
+from repro.units import format_si
+
+VDD_SERIES = (0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95)
+
+
+def _iso_voltage_powers(tables, vdd):
+    """(6T, 8T) power triples on the shared 6T cycle at ``vdd``."""
+    p6 = tables.table_6t.point_at(vdd)
+    p8 = tables.table_8t.point_at(vdd)
+    cycle = p6.cycle_time
+    six = (p6.read_energy / cycle, p6.write_energy / cycle, p6.leakage_power)
+    eight = (p8.read_energy / cycle, p8.write_energy / cycle, p8.leakage_power)
+    return six, eight
+
+
+def test_fig6_power_vs_vdd(benchmark, tables, tech, emit):
+    def collect():
+        rows = []
+        for vdd in VDD_SERIES:
+            six, eight = _iso_voltage_powers(tables, vdd)
+            rows.append(
+                [vdd,
+                 format_si(six[0], "W"), format_si(eight[0], "W"),
+                 format_si(six[1], "W"), format_si(eight[1], "W"),
+                 format_si(six[2], "W"), format_si(eight[2], "W")]
+            )
+        return rows
+
+    rows = once(benchmark, collect)
+    emit(
+        "fig6_power",
+        format_table(
+            ["VDD", "6T read", "8T read", "6T write", "8T write",
+             "6T leak", "8T leak"],
+            rows,
+        ),
+    )
+
+    # Panel shapes: every power component falls monotonically with VDD.
+    for index in range(3):
+        series6 = [_iso_voltage_powers(tables, v)[0][index] for v in VDD_SERIES]
+        assert all(a < b for a, b in zip(series6, series6[1:])), \
+            f"6T power component {index} must rise with VDD"
+
+    # The paper's iso-voltage overhead anchors, at every voltage.
+    for vdd in VDD_SERIES:
+        six, eight = _iso_voltage_powers(tables, vdd)
+        read_ratio = eight[0] / six[0]
+        write_ratio = eight[1] / six[1]
+        leak_ratio = eight[2] / six[2]
+        assert 1.10 < read_ratio < 1.32, f"read overhead {read_ratio} at {vdd}"
+        assert 1.10 < write_ratio < 1.32, f"write overhead {write_ratio} at {vdd}"
+        assert 1.30 < leak_ratio < 1.55, f"leak overhead {leak_ratio} at {vdd}"
+
+    # Layout anchor: "the 8T bitcell incurs a 37% area overhead".
+    assert abs(area_overhead_8t_vs_6t(tech) - 0.37) < 0.01
+
+    # Access power lives in the uW band, leakage in the nW band (Fig. 6 axes).
+    six, _ = _iso_voltage_powers(tables, 0.95)
+    assert 1e-6 < six[0] < 50e-6
+    assert 1e-11 < six[2] < 50e-9

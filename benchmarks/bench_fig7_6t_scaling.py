@@ -1,0 +1,56 @@
+"""Paper Fig. 7 — the all-6T synaptic memory under voltage scaling.
+
+(a) classification accuracy versus VDD; (b) memory-access and leakage
+power savings versus VDD (normalized to the nominal 0.95 V operation).
+
+Asserted headline behaviours (Sec. VI-A):
+
+* scaling by 200 mV from nominal (to 0.75 V) costs <0.5% accuracy;
+* aggressive scaling (0.65 V) degrades accuracy by more than 30%;
+* the savings grow monotonically as the voltage scales.
+"""
+
+from benchmarks.conftest import once
+from repro.core import format_table, voltage_scaling_study
+
+VDD_SERIES = (0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.65)
+
+
+def test_fig7_6t_voltage_scaling(benchmark, sim, emit):
+    results = once(
+        benchmark,
+        lambda: voltage_scaling_study(sim, vdds=VDD_SERIES, seed=1),
+    )
+
+    rows = [
+        [r.vdd, r.accuracy_pct, r.accuracy_drop_pct,
+         r.access_power_saving_pct, r.leakage_saving_pct]
+        for r in results
+    ]
+    emit(
+        "fig7_6t_scaling",
+        format_table(
+            ["VDD", "accuracy %", "drop %", "access-power saving %",
+             "leakage saving %"],
+            rows, float_fmt="{:.2f}",
+        ),
+    )
+
+    by_vdd = {r.vdd: r for r in results}
+
+    # Fig. 7(a): error resiliency buys 200 mV of scaling for <0.5% loss.
+    for vdd in (0.95, 0.90, 0.85, 0.80, 0.75):
+        assert by_vdd[vdd].accuracy_drop_pct < 0.5, \
+            f"accuracy should be intact at {vdd} V"
+
+    # Fig. 7(a): aggressive scaling collapses accuracy (>30% degradation).
+    assert by_vdd[0.65].accuracy_drop_pct > 30.0
+
+    # Fig. 7(b): savings increase monotonically with scaling depth.
+    access = [by_vdd[v].access_power_saving_pct for v in VDD_SERIES]
+    leak = [by_vdd[v].leakage_saving_pct for v in VDD_SERIES]
+    assert all(a <= b + 1e-9 for a, b in zip(access, access[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(leak, leak[1:]))
+
+    # Substantial savings are on the table at the iso-stability point.
+    assert by_vdd[0.75].access_power_saving_pct > 25.0

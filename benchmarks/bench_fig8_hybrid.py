@@ -1,0 +1,67 @@
+"""Paper Fig. 8 — significance-driven hybrid 8T-6T SRAM (Config 1).
+
+(a) classification accuracy of the ``(n, 8-n)`` hybrid configurations at
+VDD = 0.65 and 0.70 V; (b) memory-access and leakage power reduction at
+0.65 V against the iso-stability 6T @ 0.75 V baseline; (c) area overhead.
+
+Asserted headline behaviours (Sec. VI-B):
+
+* the hybrid allows scaling another 100 mV below the 6T limit;
+* protecting three or four MSBs achieves close-to-nominal accuracy;
+* the (3,5) point shows double-digit power reduction at ~13.75% area
+  overhead (= 3/8 x 37%).
+"""
+
+from benchmarks.conftest import once
+from repro.core import format_table, hybrid_configuration_study
+
+
+def test_fig8_hybrid_configurations(benchmark, sim, emit):
+    results = once(
+        benchmark,
+        lambda: hybrid_configuration_study(
+            sim, vdds=(0.65, 0.70), msb_counts=(1, 2, 3, 4), seed=2
+        ),
+    )
+
+    rows = [
+        [r.label, r.vdd, r.accuracy_pct, r.access_power_reduction_pct,
+         r.leakage_reduction_pct, r.area_overhead_pct]
+        for r in results
+    ]
+    emit(
+        "fig8_hybrid",
+        format_table(
+            ["config", "VDD", "accuracy %", "access-power red. %",
+             "leakage red. %", "area overhead %"],
+            rows, float_fmt="{:.2f}",
+        ),
+    )
+
+    at_065 = {r.msb_in_8t: r for r in results if r.vdd == 0.65}
+    at_070 = {r.msb_in_8t: r for r in results if r.vdd == 0.70}
+    nominal_pct = 100.0 * at_065[3].evaluation.baseline_accuracy
+
+    # Fig. 8(a): 3-4 protected MSBs recover close-to-nominal accuracy at
+    # 0.65 V — the extra 100 mV of scaling the hybrid unlocks.
+    assert nominal_pct - at_065[3].accuracy_pct < 1.0
+    assert nominal_pct - at_065[4].accuracy_pct < 0.6
+    # ... while fewer protected MSBs leave visible degradation.
+    assert at_065[1].accuracy_pct < at_065[3].accuracy_pct
+
+    # At 0.70 V even light protection is already safe (Fig. 8(a) upper set).
+    for n in (1, 2, 3, 4):
+        assert nominal_pct - at_070[n].accuracy_pct < 0.5
+
+    # Fig. 8(b): iso-stability power reductions, decreasing in n.
+    reductions = [at_065[n].access_power_reduction_pct for n in (1, 2, 3, 4)]
+    assert all(x > 20.0 for x in reductions)
+    assert all(a >= b for a, b in zip(reductions, reductions[1:]))
+
+    # Fig. 8(c): area overhead = n/8 x 37% (the paper quotes 13.75% at n=3).
+    for n in (1, 2, 3, 4):
+        expected = n / 8 * 37.0
+        assert abs(at_065[n].area_overhead_pct - expected) < 0.5
+
+    # Leakage reduction also positive at the paper's (3,5) design point.
+    assert at_065[3].leakage_reduction_pct > 5.0

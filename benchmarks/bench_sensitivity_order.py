@@ -1,0 +1,50 @@
+"""Supporting experiment — the per-layer sensitivity ordering of Sec. VI-C.
+
+Not a numbered figure, but the evidence Fig. 9's allocation rests on.
+Asserts the three intuitions the paper states:
+
+1. aggregate vulnerability is dominated by the input and first-hidden
+   banks (they hold most of the synapses);
+2. per synapse, the first hidden layer's fan-out is more sensitive than
+   the input layer's ("the input layer is resilient relative to the
+   first hidden layer");
+3. per synapse, the output layer's fan-in is more sensitive than the
+   central hidden layers'.
+"""
+
+from benchmarks.conftest import once
+from repro.core import format_table, layer_sensitivity_profile
+
+
+def test_sensitivity_ordering(benchmark, model, emit):
+    profile = once(
+        benchmark,
+        lambda: layer_sensitivity_profile(
+            model, stress_ber=0.05, n_trials=8, seed=31
+        ),
+    )
+
+    per_syn = profile.per_synapse_drops
+    rows = [
+        [f"layer {l.layer_index}", l.n_synapses, 100 * l.accuracy_drop,
+         f"{per_syn[l.layer_index]:.3e}"]
+        for l in profile.layers
+    ]
+    emit(
+        "sensitivity_ordering",
+        format_table(
+            ["weight layer", "synapses", "aggregate drop %",
+             "drop per synapse"],
+            rows, float_fmt="{:.2f}",
+        ),
+    )
+
+    # 1. Aggregate ranking led by the two big front banks.
+    assert set(profile.ranking[:2]) == {0, 1}
+
+    # 2. Hidden-1 fan-out beats input fan-out per synapse.
+    assert per_syn[1] > per_syn[0]
+
+    # 3. Output fan-in beats the central layers per synapse.
+    n = len(per_syn)
+    assert per_syn[n - 1] > per_syn[n - 3]

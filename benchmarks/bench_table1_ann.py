@@ -1,0 +1,41 @@
+"""Paper Table I — the benchmark ANN for digit recognition.
+
+Regenerates the table's three totals (layers / neurons / synapses) from
+the recovered ``784-1000-500-200-100-10`` architecture and times a
+forward pass of the trained benchmark network.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.core import format_table, paper_ann_spec
+
+
+def test_table1_ann_architecture(benchmark, model, emit):
+    spec = paper_ann_spec()
+
+    rows = [
+        ["paper (Table I)", "MNIST", 6, 2594, 1_406_810],
+        ["recovered spec", "synthetic digits", spec.n_layers, spec.n_neurons,
+         spec.n_synapses],
+        [f"run profile ({'-'.join(map(str, model.spec.layer_sizes))})",
+         "synthetic digits", model.spec.n_layers, model.spec.n_neurons,
+         model.spec.n_synapses],
+    ]
+    emit(
+        "table1_ann",
+        format_table(
+            ["architecture", "dataset", "layers", "neurons", "synapses"], rows
+        ),
+    )
+
+    # The recovered architecture must reproduce Table I exactly.
+    assert spec.n_layers == 6
+    assert spec.n_neurons == 2594
+    assert spec.n_synapses == 1_406_810
+
+    # Benchmark: one inference sweep of the evaluation set.
+    x = model.dataset.x_test
+    predictions = once(benchmark, lambda: model.network.predict(x))
+    assert predictions.shape == (x.shape[0],)
+    assert np.mean(predictions == model.dataset.y_test) > 0.9

@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+One trained model + one pair of cell characterizations per session, at
+publication quality (20k Monte-Carlo samples, 5 fault trials).  Both are
+disk-cached under ``.repro_cache/``, so the first benchmark run pays the
+training/Monte-Carlo cost and subsequent runs start immediately.
+
+Every benchmark prints the regenerated paper table (so it lands in
+``bench_output.txt``) and also writes it to ``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+from repro.core import CircuitToSystemSimulator, train_benchmark_ann
+from repro.devices import ptm22
+from repro.mem import CellTables
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return ptm22()
+
+
+@pytest.fixture(scope="session")
+def model():
+    """The benchmark ANN (fast profile by default; REPRO_PROFILE=paper
+    runs Table I scale)."""
+    return train_benchmark_ann()
+
+
+@pytest.fixture(scope="session")
+def tables(tech):
+    return CellTables.build(technology=tech, n_samples=20000)
+
+
+@pytest.fixture(scope="session")
+def sim(model, tables):
+    return CircuitToSystemSimulator(model, tables=tables, n_trials=5)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a named result block and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n{text}\n"
+        print(banner)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The studies are deterministic and heavy; statistical repetition
+    would only slow the harness down.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,102 @@
+"""ECC or hybrid cells? — comparing two ways to protect synaptic SRAM.
+
+Run with::
+
+    python examples/ecc_vs_hybrid.py [--vdd 0.65]
+
+A memory designer asked to voltage-scale an on-chip weight store has two
+classical options: add an error-correcting code over the existing 6T
+array, or re-architect with robust cells where it matters (the paper's
+significance-driven hybrid).  This example evaluates both on equal
+footing — accuracy under the same bitcell failure statistics, plus area
+and access-power accounting — and sweeps the supply to show where each
+approach breaks down.
+"""
+
+import argparse
+
+from repro.core import CircuitToSystemSimulator, format_table, train_benchmark_ann
+from repro.fault.evaluate import evaluate_under_faults
+from repro.mem import CellTables
+from repro.mem.ecc import (
+    EccFaultInjector,
+    SecCode,
+    ecc_area_factor,
+    ecc_energy_factor,
+)
+
+
+def evaluate_ecc(sim, vdd, code, seed=0):
+    """Accuracy + cost of a SEC-ECC-protected all-6T memory at ``vdd``."""
+    model = sim.model
+    plain = sim.base_memory(vdd)
+    injector = EccFaultInjector(
+        [bank.bit_error_rates(vdd) for bank in plain.banks], code=code
+    )
+    evaluation = evaluate_under_faults(
+        model.network, model.image, injector,
+        model.dataset.x_test, model.dataset.y_test,
+        n_trials=3, seed=seed,
+    )
+    baseline = sim.baseline_memory()
+    area_pct = 100.0 * (ecc_area_factor(code) * plain.area / baseline.area - 1.0)
+    power_pct = 100.0 * (
+        1.0 - ecc_energy_factor(code) * plain.access_power / baseline.access_power
+    )
+    return evaluation, power_pct, area_pct
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vdd", type=float, default=0.65)
+    args = parser.parse_args()
+
+    model = train_benchmark_ann()
+    sim = CircuitToSystemSimulator(model, tables=CellTables.build(n_samples=8000),
+                                   n_trials=3)
+    code = SecCode(n_data=model.image.fmt.n_bits)
+
+    # Head-to-head at the requested voltage.
+    rows = []
+    hybrid = sim.config1_memory(args.vdd, msb_in_8t=3)
+    ev = sim.evaluate(hybrid, seed=1)
+    cmp = sim.compare(hybrid)
+    rows.append(["hybrid (3,5)", 100 * ev.mean_accuracy,
+                 cmp.access_power_reduction_pct, cmp.area_overhead_pct])
+
+    ev, power, area = evaluate_ecc(sim, args.vdd, code, seed=2)
+    rows.append([f"SEC-ECC ({code.n_total},{code.n_data})",
+                 100 * ev.mean_accuracy, power, area])
+
+    plain = sim.base_memory(args.vdd)
+    ev = sim.evaluate(plain, seed=3)
+    cmp = sim.compare(plain)
+    rows.append(["plain 6T", 100 * ev.mean_accuracy,
+                 cmp.access_power_reduction_pct, cmp.area_overhead_pct])
+
+    print(f"protection comparison at {args.vdd} V "
+          "(power/area vs 6T @ 0.75 V):")
+    print(format_table(
+        ["memory", "accuracy %", "access-power red. %", "area overhead %"],
+        rows, float_fmt="{:.2f}",
+    ))
+    print()
+
+    # Where does ECC stop working?  Sweep the supply.
+    rows = []
+    for vdd in (0.75, 0.70, 0.675, 0.65, 0.625):
+        ecc_ev, _, _ = evaluate_ecc(sim, vdd, code, seed=4)
+        hyb_ev = sim.evaluate(sim.config1_memory(vdd, 3), seed=5)
+        rows.append([vdd, 100 * ecc_ev.mean_accuracy, 100 * hyb_ev.mean_accuracy])
+    print("accuracy vs VDD:")
+    print(format_table(["VDD", "SEC-ECC 6T %", "hybrid (3,5) %"], rows,
+                       float_fmt="{:.2f}"))
+    print()
+    print("SEC corrects the sparse single-bit failures of mild scaling, but")
+    print("collapses once multi-bit words become common — while costing 50%")
+    print("area. The hybrid's MSB protection holds to lower voltages at a")
+    print("quarter of the overhead: significance beats redundancy here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: the paper's pipeline end to end, in five steps.
+
+Run with::
+
+    python examples/quickstart.py
+
+Trains a small digit-recognition ANN, characterizes the 6T/8T bitcells,
+then compares three synaptic memories at a scaled supply: the all-6T
+baseline, the significance-driven hybrid (Config 1) and the paper's
+sensitivity-driven allocation (Config 2).
+"""
+
+from repro.core import CircuitToSystemSimulator, format_table, train_benchmark_ann
+from repro.mem import CellTables
+
+VDD_SCALED = 0.65
+
+
+def main() -> None:
+    # 1. Train (or load from cache) the benchmark network and quantize
+    #    its synapses to the 8-bit fixed-point memory image.
+    print("training the benchmark ANN (cached after the first run)...")
+    model = train_benchmark_ann()
+    print(f"  float accuracy      {model.float_accuracy:.4f}")
+    print(f"  8-bit accuracy      {model.quantized_accuracy:.4f}")
+    print(f"  word format         {model.image.fmt}")
+
+    # 2. Characterize the bitcells across the voltage range (cached).
+    print("characterizing 6T/8T bitcells (Monte Carlo, cached)...")
+    tables = CellTables.build(n_samples=8000)
+    p6 = tables.table_6t.point_at(VDD_SCALED)
+    print(f"  6T cell @ {VDD_SCALED} V: P(read-access fail) = "
+          f"{p6.p_read_access:.2e}")
+
+    # 3. Wire the two together.
+    sim = CircuitToSystemSimulator(model, tables=tables, n_trials=3)
+
+    # 4. Evaluate three memory configurations at the scaled voltage.
+    memories = [
+        sim.base_memory(VDD_SCALED),
+        sim.config1_memory(VDD_SCALED, msb_in_8t=3),
+        sim.config2_memory(VDD_SCALED, msb_per_layer=(2, 3, 1, 1, 3)),
+    ]
+
+    # 5. Report accuracy + power/area versus the 6T @ 0.75 V baseline.
+    rows = []
+    for memory in memories:
+        evaluation = sim.evaluate(memory, seed=1)
+        comparison = sim.compare(memory)
+        rows.append(
+            [memory.name, 100 * evaluation.mean_accuracy,
+             comparison.access_power_reduction_pct,
+             comparison.leakage_power_reduction_pct,
+             comparison.area_overhead_pct]
+        )
+    print()
+    print(f"memories at {VDD_SCALED} V vs all-6T @ 0.75 V (iso-stability):")
+    print(format_table(
+        ["memory", "accuracy %", "access-power red. %",
+         "leakage red. %", "area overhead %"],
+        rows, float_fmt="{:.2f}",
+    ))
+    print()
+    print("The all-6T memory collapses at this voltage; the hybrids keep")
+    print("near-nominal accuracy while cutting memory power — the paper's")
+    print("central result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: allows editable installs without the `wheel` package
+(this environment is offline, so pip cannot fetch build dependencies)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "Significance Driven Hybrid 8T-6T SRAM for
+Energy-Efficient Synaptic Storage in Artificial Neural Networks"
+(Srinivasan et al., DATE 2016).
+
+The package is organised as a circuit-to-system pipeline:
+
+* :mod:`repro.devices` — 22 nm-class compact MOSFET model + VT variation.
+* :mod:`repro.sram` — 6T/8T bitcells, stability margins, Monte-Carlo
+  failure analysis, power/area models, array characterization.
+* :mod:`repro.mem` — synaptic word formats, hybrid 8T-6T banks and the
+  three memory configurations of the paper (base / Config 1 / Config 2).
+* :mod:`repro.nn` — numpy feedforward ANN substrate (training,
+  quantization, synthetic digit dataset).
+* :mod:`repro.fault` — bit-level fault injection driven by the bitcell
+  failure statistics.
+* :mod:`repro.core` — the paper's contribution: significance-driven and
+  sensitivity-driven hybrid memory design plus the end-to-end simulator.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

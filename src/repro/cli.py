@@ -1,0 +1,168 @@
+"""Command-line interface: ``repro-sram <command>``.
+
+Thin front-end over the library for quick exploration without writing a
+script.  Every experiment of the paper has a richer, asserted version
+under ``benchmarks/``; the CLI favours fast defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    CircuitToSystemSimulator,
+    allocate_msbs,
+    format_table,
+    hybrid_configuration_study,
+    layer_sensitivity_profile,
+    train_benchmark_ann,
+    voltage_scaling_study,
+)
+from repro.devices.technology import get_technology
+from repro.mem import CellTables
+from repro.sram import characterize_cell
+from repro.sram.area import format_area
+from repro.units import format_si
+from repro.version import __version__
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tech", default="ptm22", help="technology name")
+    parser.add_argument("--samples", type=int, default=8000,
+                        help="Monte-Carlo samples per voltage point")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="fault-injection trials per evaluation")
+    parser.add_argument("--profile", default=None,
+                        help="ANN profile: fast (default) or paper")
+
+
+def _build_sim(args) -> CircuitToSystemSimulator:
+    model = train_benchmark_ann(profile=args.profile)
+    tables = CellTables.build(
+        technology=get_technology(args.tech), n_samples=args.samples
+    )
+    return CircuitToSystemSimulator(model, tables=tables, n_trials=args.trials)
+
+
+def cmd_characterize(args) -> int:
+    table = characterize_cell(
+        cell_kind=args.cell,
+        technology=get_technology(args.tech),
+        n_samples=args.samples,
+    )
+    rows = [
+        [p.vdd, f"{p.p_read_access:.3e}", f"{p.p_write:.3e}",
+         f"{p.p_read_disturb:.3e}", format_si(p.read_power, "W"),
+         format_si(p.write_power, "W"), format_si(p.leakage_power, "W")]
+        for p in table.points
+    ]
+    print(f"{args.cell.upper()} cell, {table.technology}, "
+          f"{table.n_samples} MC samples, area {format_area(table.area)}")
+    print(format_table(
+        ["VDD", "P(read acc)", "P(write)", "P(disturb)",
+         "read pwr", "write pwr", "leak pwr"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    sim = _build_sim(args)
+    results = voltage_scaling_study(sim)
+    rows = [
+        [r.vdd, r.accuracy_pct, r.accuracy_drop_pct,
+         r.access_power_saving_pct, r.leakage_saving_pct]
+        for r in results
+    ]
+    print("All-6T synaptic memory under voltage scaling (paper Fig. 7):")
+    print(format_table(
+        ["VDD", "accuracy %", "drop %", "access-power saving %",
+         "leakage saving %"], rows, float_fmt="{:.2f}",
+    ))
+    return 0
+
+
+def cmd_hybrid(args) -> int:
+    sim = _build_sim(args)
+    results = hybrid_configuration_study(sim, vdds=(args.vdd,))
+    rows = [
+        [r.label, r.accuracy_pct, r.access_power_reduction_pct,
+         r.leakage_reduction_pct, r.area_overhead_pct]
+        for r in results
+    ]
+    print(f"Hybrid 8T-6T configurations at {args.vdd} V vs 6T @ 0.75 V "
+          "(paper Fig. 8):")
+    print(format_table(
+        ["config", "accuracy %", "access-power red. %",
+         "leakage red. %", "area overhead %"], rows, float_fmt="{:.2f}",
+    ))
+    return 0
+
+
+def cmd_sensitivity(args) -> int:
+    model = train_benchmark_ann(profile=args.profile)
+    profile = layer_sensitivity_profile(model, n_trials=args.trials)
+    print(profile.summary())
+    print(f"aggregate ranking (most->least sensitive): {profile.ranking}")
+    print(f"per-synapse ranking:                        "
+          f"{profile.per_synapse_ranking}")
+    return 0
+
+
+def cmd_allocate(args) -> int:
+    sim = _build_sim(args)
+    result = allocate_msbs(
+        sim, vdd=args.vdd, max_accuracy_drop=args.max_drop / 100.0,
+        start_msb=args.start_msb, n_trials=args.trials,
+    )
+    print("Sensitivity-driven MSB allocation (paper Config 2):")
+    print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sram",
+        description="Significance-driven hybrid 8T-6T SRAM reproduction "
+                    "(Srinivasan et al., DATE 2016)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="bitcell failure/power vs VDD")
+    p.add_argument("--cell", choices=["6t", "8t"], default="6t")
+    _add_common(p)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("scaling", help="accuracy/power vs VDD for all-6T storage")
+    _add_common(p)
+    p.set_defaults(func=cmd_scaling)
+
+    p = sub.add_parser("hybrid", help="Config-1 hybrid configuration study")
+    p.add_argument("--vdd", type=float, default=0.65)
+    _add_common(p)
+    p.set_defaults(func=cmd_hybrid)
+
+    p = sub.add_parser("sensitivity", help="per-layer synaptic sensitivity")
+    _add_common(p)
+    p.set_defaults(func=cmd_sensitivity)
+
+    p = sub.add_parser("allocate", help="search a Config-2 MSB allocation")
+    p.add_argument("--vdd", type=float, default=0.65)
+    p.add_argument("--max-drop", type=float, default=1.0,
+                   help="accuracy budget in percent")
+    p.add_argument("--start-msb", type=int, default=3)
+    _add_common(p)
+    p.set_defaults(func=cmd_allocate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""Benchmark ANN profiles and the end-to-end circuit-to-system simulator.
+
+Paper Table I specifies the benchmark network only by totals — 6 layers,
+2594 neurons, 1,406,810 synapses on MNIST.  The layer widths are uniquely
+recoverable (see DESIGN.md): ``784-1000-500-200-100-10`` with biases
+reproduces both totals exactly; that is :func:`paper_ann_spec`.
+
+Because training the 1.4M-synapse network in pure numpy takes a while,
+the default *fast* profile keeps the same depth and tapering shape at
+roughly one fifth the width (``784-300-150-80-40-10``).  All accuracy
+trends the paper relies on (MSB sensitivity, per-layer resilience
+ordering) are depth/shape properties and survive the shrink; set
+``REPRO_PROFILE=paper`` to run everything at paper scale.
+
+:class:`CircuitToSystemSimulator` glues the layers of the repository
+together exactly as the paper's Sec. V describes: bitcell Monte Carlo →
+failure probabilities → memory configuration → bit-level fault injection
+→ classification accuracy, plus the power/area accounting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fault.evaluate import FaultEvaluation, evaluate_under_faults
+from repro.mem.accounting import (
+    BASELINE_VDD_6T,
+    ComparisonReport,
+    compare_architectures,
+)
+from repro.mem.architecture import SynapticMemoryArchitecture
+from repro.mem.configs import (
+    base_architecture,
+    config1_architecture,
+    config2_architecture,
+)
+from repro.mem.tables import CellTables
+from repro.nn.datasets import DigitDataset, load_synthetic_digits
+from repro.nn.metrics import accuracy
+from repro.nn.network import FeedforwardANN, NetworkSpec
+from repro.nn.quantize import QuantizedWeights, quantize_network
+from repro.nn.trainer import SGDTrainer
+from repro.rng import SeedLike
+from repro.sram.characterize import default_cache_dir
+
+
+def paper_ann_spec(seed: int = 0) -> NetworkSpec:
+    """The paper's Table I network: 784-1000-500-200-100-10.
+
+    6 layers, 2594 neurons, 1,406,810 synapses (weights + biases).
+    """
+    return NetworkSpec(layer_sizes=(784, 1000, 500, 200, 100, 10), seed=seed)
+
+
+def fast_ann_spec(seed: int = 0) -> NetworkSpec:
+    """Same depth and taper as Table I at ~1/5 width (default profile)."""
+    return NetworkSpec(layer_sizes=(784, 300, 150, 80, 40, 10), seed=seed)
+
+
+PROFILES = {"paper": paper_ann_spec, "fast": fast_ann_spec}
+
+
+def resolve_profile(profile: Optional[str] = None, seed: int = 0) -> NetworkSpec:
+    """Profile name (or ``REPRO_PROFILE`` env var, default ``fast``) -> spec."""
+    name = profile or os.environ.get("REPRO_PROFILE", "fast")
+    try:
+        return PROFILES[name](seed=seed)
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise ConfigurationError(
+            f"unknown profile {name!r}; known: {known}"
+        ) from None
+
+
+@dataclass
+class TrainedModel:
+    """A trained, quantized benchmark network plus its dataset."""
+
+    network: FeedforwardANN
+    image: QuantizedWeights
+    dataset: DigitDataset
+    float_accuracy: float
+    quantized_accuracy: float
+
+    @property
+    def spec(self) -> NetworkSpec:
+        return self.network.spec
+
+    @property
+    def layer_synapse_counts(self) -> tuple:
+        """Per-weight-layer synapse counts (weights + biases) — the bank
+        sizes of the sensitivity-driven architecture."""
+        return tuple(
+            self.image.layer_synapse_count(i) for i in range(self.image.n_layers)
+        )
+
+    @property
+    def quantization_loss(self) -> float:
+        return self.float_accuracy - self.quantized_accuracy
+
+
+def _model_cache_path(key_blob: str, cache_dir: Optional[str]) -> str:
+    digest = hashlib.md5(key_blob.encode()).hexdigest()[:16]
+    return os.path.join(cache_dir or default_cache_dir(), f"ann_{digest}.npz")
+
+
+def train_benchmark_ann(
+    profile: Optional[str] = None,
+    seed: int = 0,
+    n_train: int = 6000,
+    n_val: int = 500,
+    n_test: int = 2000,
+    epochs: int = 15,
+    n_bits: int = 8,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    verbose: bool = False,
+) -> TrainedModel:
+    """Train (or load from cache) the benchmark digit-recognition ANN.
+
+    The trained float parameters are cached on disk; the dataset is
+    regenerated deterministically from its seed each call (generation is
+    a few seconds, and caching images would dwarf the weight cache).
+    """
+    spec = resolve_profile(profile, seed=seed)
+    dataset = load_synthetic_digits(
+        n_train=n_train, n_val=n_val, n_test=n_test, seed=seed
+    )
+    network = FeedforwardANN(spec)
+
+    key_blob = json.dumps(
+        {
+            "sizes": spec.layer_sizes,
+            "hidden": spec.hidden_activation,
+            "output": spec.output_activation,
+            "seed": seed,
+            "n_train": n_train,
+            "n_val": n_val,
+            "epochs": epochs,
+            "rev": 2,  # rev 2: weight_clip=0.99 -> Q0.7 synaptic words
+        },
+        sort_keys=True,
+    )
+    path = _model_cache_path(key_blob, cache_dir)
+
+    if use_cache and os.path.exists(path):
+        payload = np.load(path)
+        for i, layer in enumerate(network.layers):
+            layer.weights = payload[f"w{i}"]
+            layer.biases = payload[f"b{i}"]
+    else:
+        # weight_clip just under 1.0 keeps every parameter representable
+        # in the paper's sub-unity 8-bit format (sign + 7 fraction bits).
+        trainer = SGDTrainer(
+            epochs=epochs, batch_size=100, learning_rate=0.2,
+            momentum=0.9, lr_decay=0.97, weight_clip=0.99,
+            seed=seed + 1, verbose=verbose,
+        )
+        trainer.train(network, dataset.x_train, dataset.y_train,
+                      x_val=dataset.x_val, y_val=dataset.y_val)
+        if use_cache:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            arrays = {}
+            for i, layer in enumerate(network.layers):
+                arrays[f"w{i}"] = layer.weights
+                arrays[f"b{i}"] = layer.biases
+            np.savez_compressed(path, **arrays)
+
+    float_acc = accuracy(network.predict(dataset.x_test), dataset.y_test)
+    image = quantize_network(network, n_bits=n_bits)
+    image.apply_to(network)
+    quant_acc = accuracy(network.predict(dataset.x_test), dataset.y_test)
+
+    return TrainedModel(
+        network=network,
+        image=image,
+        dataset=dataset,
+        float_accuracy=float_acc,
+        quantized_accuracy=quant_acc,
+    )
+
+
+class CircuitToSystemSimulator:
+    """The paper's Sec. V pipeline as one object.
+
+    Combines a trained quantized network with the 6T/8T bitcell
+    characterizations and answers the evaluation questions of Sec. VI:
+    accuracy / access power / leakage / area of any memory configuration
+    at any supply voltage.
+    """
+
+    def __init__(
+        self,
+        model: TrainedModel,
+        tables: Optional[CellTables] = None,
+        n_trials: int = 5,
+        include_write_failures: bool = True,
+        include_read_disturb: bool = True,
+    ):
+        if n_trials <= 0:
+            raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
+        self.model = model
+        self.tables = tables or CellTables.build()
+        self.n_trials = n_trials
+        self.include_write_failures = include_write_failures
+        self.include_read_disturb = include_read_disturb
+
+    # ------------------------------------------------------------------
+    # Architecture construction bound to this model's bank sizes
+    # ------------------------------------------------------------------
+    def base_memory(self, vdd: float) -> SynapticMemoryArchitecture:
+        return base_architecture(
+            self.model.layer_synapse_counts, self.tables, vdd,
+            n_bits=self.model.image.fmt.n_bits,
+        )
+
+    def config1_memory(self, vdd: float, msb_in_8t: int) -> SynapticMemoryArchitecture:
+        return config1_architecture(
+            self.model.layer_synapse_counts, self.tables, vdd, msb_in_8t,
+            n_bits=self.model.image.fmt.n_bits,
+        )
+
+    def config2_memory(
+        self, vdd: float, msb_per_layer: Sequence[int]
+    ) -> SynapticMemoryArchitecture:
+        return config2_architecture(
+            self.model.layer_synapse_counts, self.tables, vdd, msb_per_layer,
+            n_bits=self.model.image.fmt.n_bits,
+        )
+
+    def baseline_memory(self) -> SynapticMemoryArchitecture:
+        """The paper's iso-stability baseline: all-6T at 0.75 V."""
+        return self.base_memory(BASELINE_VDD_6T)
+
+    # ------------------------------------------------------------------
+    # Accuracy under a memory configuration
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        memory: SynapticMemoryArchitecture,
+        n_trials: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> FaultEvaluation:
+        """Classification accuracy with this memory's fault statistics."""
+        injector = memory.fault_injector(
+            include_write_failures=self.include_write_failures,
+            include_read_disturb=self.include_read_disturb,
+        )
+        return evaluate_under_faults(
+            self.model.network,
+            self.model.image,
+            injector,
+            self.model.dataset.x_test,
+            self.model.dataset.y_test,
+            n_trials=n_trials or self.n_trials,
+            seed=seed,
+        )
+
+    def compare(
+        self,
+        candidate: SynapticMemoryArchitecture,
+        baseline: Optional[SynapticMemoryArchitecture] = None,
+    ) -> ComparisonReport:
+        """Power/area accounting vs the (default iso-stability) baseline."""
+        return compare_architectures(candidate, baseline or self.baseline_memory())

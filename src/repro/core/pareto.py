@@ -1,0 +1,181 @@
+"""Design-space exploration: the accuracy / power / area Pareto frontier.
+
+The paper evaluates a handful of hand-chosen configurations; a user
+adopting the library will want the *frontier*.  Enumerating all
+``(n_max+1)^banks`` allocations and fault-simulating each is wasteful,
+so the explorer works in two stages:
+
+1. **analytic screening** — every allocation gets a closed-form
+   vulnerability proxy: the expected squared weight perturbation of its
+   exposed bits, weighted by the per-synapse sensitivity of each layer
+   (from :mod:`repro.core.sensitivity`).  Together with exact area and
+   access-energy accounting this yields a candidate frontier without a
+   single network evaluation.
+2. **simulation refinement** — the nondominated candidates (area vs
+   proxy) are fault-simulated to replace the proxy with measured
+   accuracy, producing the reported frontier.
+
+The proxy is exactly the quantity a first-order analysis of weight noise
+suggests: flipping bit ``b`` of a word perturbs the weight by
+``+/- 2^b / scale``, contributing ``p_b * (2^b / scale)^2`` to
+``E[dw^2]`` — summed over exposed bits and scaled by the layer's
+measured per-synapse sensitivity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.framework import CircuitToSystemSimulator
+from repro.core.sensitivity import SensitivityProfile
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, derive_seed
+
+
+@dataclass(frozen=True)
+class CandidatePoint:
+    """One allocation with its analytic figures (stage-1 output)."""
+
+    msb_per_layer: tuple
+    area_overhead_pct: float
+    access_power_reduction_pct: float
+    vulnerability: float
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One simulated frontier member (stage-2 output)."""
+
+    msb_per_layer: tuple
+    area_overhead_pct: float
+    access_power_reduction_pct: float
+    accuracy: float
+    accuracy_drop: float
+
+
+def pareto_mask(costs: np.ndarray) -> np.ndarray:
+    """Boolean mask of nondominated rows (all columns to be minimized).
+
+    Standard O(n^2) dominance filter; fine for the few thousand points
+    the allocation enumeration produces.
+    """
+    costs = np.asarray(costs, dtype=float)
+    if costs.ndim != 2:
+        raise ConfigurationError("costs must be a 2-D array (points x objectives)")
+    n = costs.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        # i is dominated if some j is <= on every objective and < on one.
+        dominators = (
+            np.all(costs <= costs[i], axis=1)
+            & np.any(costs < costs[i], axis=1)
+        )
+        if np.any(dominators):
+            mask[i] = False
+    return mask
+
+
+def allocation_vulnerability(
+    sim: CircuitToSystemSimulator,
+    vdd: float,
+    msb_per_layer: Sequence[int],
+    profile: Optional[SensitivityProfile] = None,
+) -> float:
+    """Closed-form vulnerability proxy of one allocation at ``vdd``.
+
+    Sum over banks of (synapse count) x (per-synapse sensitivity weight)
+    x ``E[dw^2]`` of the exposed bit positions.
+    """
+    fmt = sim.model.image.fmt
+    counts = sim.model.layer_synapse_counts
+    if len(msb_per_layer) != len(counts):
+        raise ConfigurationError(
+            f"{len(counts)} banks but {len(msb_per_layer)} MSB counts"
+        )
+    if profile is not None:
+        weights = np.maximum(profile.per_synapse_drops, 0.0)
+        peak = weights.max()
+        weights = weights / peak if peak > 0 else np.ones(len(counts))
+    else:
+        weights = np.ones(len(counts))
+
+    memory = sim.config2_memory(vdd, msb_per_layer)
+    total = 0.0
+    for bank, count, weight in zip(memory.banks, counts, weights):
+        p_bits = bank.bit_error_rates(vdd).p_total
+        dw2 = sum(
+            p_bits[b] * fmt.bit_weight(b) ** 2 for b in range(fmt.n_bits)
+        )
+        total += count * weight * dw2
+    return float(total)
+
+
+def explore_allocations(
+    sim: CircuitToSystemSimulator,
+    vdd: float = 0.65,
+    max_msb: int = 4,
+    profile: Optional[SensitivityProfile] = None,
+    refine_top: int = 10,
+    n_trials: int = 3,
+    seed: SeedLike = None,
+) -> List[FrontierPoint]:
+    """Two-stage Pareto exploration of per-bank MSB allocations.
+
+    Returns the simulated frontier, sorted by area overhead.  With five
+    banks and ``max_msb=4`` the stage-1 enumeration covers 3125
+    allocations; only ``refine_top`` of them are fault-simulated.
+    """
+    if max_msb < 0 or max_msb > sim.model.image.fmt.n_bits:
+        raise ConfigurationError(f"max_msb out of range: {max_msb}")
+    if refine_top <= 0:
+        raise ConfigurationError("refine_top must be positive")
+
+    n_banks = len(sim.model.layer_synapse_counts)
+    baseline = sim.baseline_memory()
+
+    # Stage 1: analytic screening of the full enumeration.
+    candidates: List[CandidatePoint] = []
+    for alloc in itertools.product(range(max_msb + 1), repeat=n_banks):
+        memory = sim.config2_memory(vdd, alloc)
+        area_pct = 100.0 * (memory.area / baseline.area - 1.0)
+        power_pct = 100.0 * (1.0 - memory.access_power / baseline.access_power)
+        vulnerability = allocation_vulnerability(sim, vdd, alloc, profile=profile)
+        candidates.append(
+            CandidatePoint(
+                msb_per_layer=tuple(alloc),
+                area_overhead_pct=area_pct,
+                access_power_reduction_pct=power_pct,
+                vulnerability=vulnerability,
+            )
+        )
+
+    costs = np.array(
+        [[c.area_overhead_pct, c.vulnerability] for c in candidates]
+    )
+    frontier = [c for c, keep in zip(candidates, pareto_mask(costs)) if keep]
+    frontier.sort(key=lambda c: c.area_overhead_pct)
+
+    # Stage 2: simulate an evenly spread subset of the candidate frontier.
+    if len(frontier) > refine_top:
+        idx = np.linspace(0, len(frontier) - 1, refine_top).round().astype(int)
+        frontier = [frontier[i] for i in sorted(set(int(i) for i in idx))]
+
+    points: List[FrontierPoint] = []
+    for k, candidate in enumerate(frontier):
+        memory = sim.config2_memory(vdd, candidate.msb_per_layer)
+        evaluation = sim.evaluate(memory, n_trials=n_trials,
+                                  seed=derive_seed(seed, k))
+        points.append(
+            FrontierPoint(
+                msb_per_layer=candidate.msb_per_layer,
+                area_overhead_pct=candidate.area_overhead_pct,
+                access_power_reduction_pct=candidate.access_power_reduction_pct,
+                accuracy=evaluation.mean_accuracy,
+                accuracy_drop=evaluation.accuracy_drop,
+            )
+        )
+    return points

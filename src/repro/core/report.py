@@ -1,0 +1,50 @@
+"""Plain-text table formatting for benchmark and CLI output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.  Column widths adapt to the content.  This is what the
+    benchmark harnesses print so the regenerated paper tables are
+    greppable in ``bench_output.txt``.
+    """
+    headers = [str(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for value in row:
+            if isinstance(value, bool):
+                cells.append(str(value))
+            elif isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(headers), sep]
+    out.extend(line(cells) for cells in rendered)
+    return "\n".join(out)

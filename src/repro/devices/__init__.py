@@ -1,0 +1,47 @@
+"""Device-level substrate: technology parameters, MOSFET compact model,
+threshold-voltage variation, and inverter DC analysis.
+
+This subpackage stands in for the SPICE + 22 nm PTM device deck used by the
+paper.  It provides exactly the ingredients the bitcell failure analysis in
+:mod:`repro.sram` needs:
+
+* :class:`~repro.devices.technology.Technology` — a named bundle of process
+  parameters (nominal voltage, minimum geometry, NMOS/PMOS model cards,
+  variation coefficients, parasitic capacitances).
+* :class:`~repro.devices.mosfet.Mosfet` — a smoothed alpha-power-law
+  transistor model with subthreshold conduction and DIBL, fully vectorized
+  over Monte-Carlo samples.
+* :class:`~repro.devices.variation.VariationModel` — Pelgrom-scaled random
+  threshold-voltage (VT) fluctuation sampling, eq. (1) of the paper.
+* :mod:`~repro.devices.inverter` — vectorized DC solvers for inverter-style
+  node equations (voltage-transfer curves, switching thresholds).
+"""
+
+from repro.devices.technology import (
+    MosfetParams,
+    Technology,
+    ptm22,
+)
+from repro.devices.mosfet import Mosfet, nmos, pmos
+from repro.devices.variation import VariationModel, pelgrom_sigma
+from repro.devices.inverter import (
+    Inverter,
+    solve_node_voltage,
+    switching_threshold,
+    vtc_curve,
+)
+
+__all__ = [
+    "MosfetParams",
+    "Technology",
+    "ptm22",
+    "Mosfet",
+    "nmos",
+    "pmos",
+    "VariationModel",
+    "pelgrom_sigma",
+    "Inverter",
+    "solve_node_voltage",
+    "switching_threshold",
+    "vtc_curve",
+]

@@ -1,0 +1,191 @@
+"""Vectorized DC solvers for inverter-style node equations.
+
+All bitcell stability analysis in :mod:`repro.sram` reduces to solving
+static current balance at one storage node: some devices pull the node up
+towards VDD, others pull it down towards ground, and the equilibrium
+voltage is where the two currents match.  Because the compact model in
+:mod:`repro.devices.mosfet` is strictly monotonic in the node voltage
+(pull-down current rises, pull-up current falls as the node rises), the
+balance has a unique root and plain bisection — fully vectorized over
+Monte-Carlo samples — is both robust and fast.
+
+The module provides:
+
+* :func:`solve_node_voltage` — generic vectorized bisection on a node.
+* :class:`Inverter` — a PMOS/NMOS pair with VTC evaluation and switching
+  threshold, the building block of cross-coupled bitcell analysis.
+* :func:`vtc_curve` / :func:`switching_threshold` — convenience wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.devices.mosfet import Mosfet
+from repro.errors import ConvergenceError
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Bisection iterations; 60 halvings of a <=1.2 V interval reach ~1e-18 V,
+#: far below any physically meaningful resolution (we stop earlier anyway).
+_MAX_BISECTIONS = 60
+#: Node-voltage tolerance considered converged.
+_V_TOL = 1e-9
+
+
+def solve_node_voltage(
+    net_pulldown: Callable[[np.ndarray], np.ndarray],
+    v_lo: ArrayLike,
+    v_hi: ArrayLike,
+    shape: tuple = (),
+) -> np.ndarray:
+    """Solve ``net_pulldown(v) = 0`` for ``v`` in ``[v_lo, v_hi]`` by bisection.
+
+    Parameters
+    ----------
+    net_pulldown:
+        Callable returning (current leaving the node) minus (current
+        entering the node) as a function of node voltage.  Must be
+        monotonically non-decreasing in ``v`` and accept/return arrays of
+        the requested ``shape``.
+    v_lo, v_hi:
+        Bracketing voltages (scalars or arrays broadcastable to ``shape``).
+    shape:
+        Shape of the sample batch.  ``()`` solves a single scalar node.
+
+    Returns
+    -------
+    numpy.ndarray
+        Node voltages of the requested shape.  When the bracket does not
+        actually straddle a sign change (e.g. every pull-down path is off
+        and the node floats to the top rail) the solver returns the
+        appropriate bracket end instead of failing: ``v_hi`` when even the
+        highest voltage cannot make the net pull-down positive, ``v_lo``
+        when the node is pinned low.
+    """
+    lo = np.broadcast_to(np.asarray(v_lo, dtype=float), shape).copy()
+    hi = np.broadcast_to(np.asarray(v_hi, dtype=float), shape).copy()
+    if np.any(hi < lo):
+        raise ConvergenceError("bisection bracket has v_hi < v_lo")
+
+    f_lo = np.asarray(net_pulldown(lo), dtype=float)
+    f_hi = np.asarray(net_pulldown(hi), dtype=float)
+    f_lo = np.broadcast_to(f_lo, shape).copy()
+    f_hi = np.broadcast_to(f_hi, shape).copy()
+
+    # Degenerate brackets: node pinned at a rail.
+    pinned_hi = f_hi <= 0  # even at v_hi the pull-up wins -> node at v_hi
+    pinned_lo = f_lo >= 0  # even at v_lo the pull-down wins -> node at v_lo
+
+    for _ in range(_MAX_BISECTIONS):
+        mid = 0.5 * (lo + hi)
+        f_mid = np.asarray(net_pulldown(mid), dtype=float)
+        go_up = f_mid < 0
+        lo = np.where(go_up, mid, lo)
+        hi = np.where(go_up, hi, mid)
+        if np.max(hi - lo) < _V_TOL:
+            break
+
+    v = 0.5 * (lo + hi)
+    v = np.where(pinned_hi, np.broadcast_to(np.asarray(v_hi, dtype=float), shape), v)
+    v = np.where(pinned_lo, np.broadcast_to(np.asarray(v_lo, dtype=float), shape), v)
+    return v if shape else float(v)
+
+
+@dataclass(frozen=True)
+class Inverter:
+    """A static CMOS inverter: PMOS pull-up + NMOS pull-down.
+
+    The two cross-coupled inverters of an SRAM cell are modelled as
+    ``Inverter`` instances; read/write analysis adds access-transistor
+    terms to the node equation on top of :meth:`net_pulldown`.
+    """
+
+    pull_up: Mosfet
+    pull_down: Mosfet
+
+    def net_pulldown(
+        self,
+        vin: ArrayLike,
+        vout: ArrayLike,
+        vdd: float,
+        dvt_n: ArrayLike = 0.0,
+        dvt_p: ArrayLike = 0.0,
+    ) -> np.ndarray:
+        """NMOS current minus PMOS current at output node ``vout``."""
+        vin = np.asarray(vin, dtype=float)
+        vout = np.asarray(vout, dtype=float)
+        i_n = self.pull_down.current(vin, vout, dvt=dvt_n)
+        i_p = self.pull_up.current(vdd - vin, vdd - vout, dvt=dvt_p)
+        return i_n - i_p
+
+    def vout(
+        self,
+        vin: ArrayLike,
+        vdd: float,
+        dvt_n: ArrayLike = 0.0,
+        dvt_p: ArrayLike = 0.0,
+    ) -> np.ndarray:
+        """Static output voltage for the given input (vectorized).
+
+        ``vin`` and the ΔVT arguments broadcast together; the result has
+        the broadcast shape.
+        """
+        vin_b, dvtn_b, dvtp_b = np.broadcast_arrays(
+            np.asarray(vin, dtype=float),
+            np.asarray(dvt_n, dtype=float),
+            np.asarray(dvt_p, dtype=float),
+        )
+        shape = vin_b.shape
+
+        def node_eq(v):
+            return self.net_pulldown(vin_b, v, vdd, dvt_n=dvtn_b, dvt_p=dvtp_b)
+
+        return solve_node_voltage(node_eq, 0.0, vdd, shape=shape)
+
+    def switching_threshold(
+        self,
+        vdd: float,
+        dvt_n: ArrayLike = 0.0,
+        dvt_p: ArrayLike = 0.0,
+    ) -> np.ndarray:
+        """Input voltage at which ``vout == vin`` (the trip point).
+
+        This is the metastable point of the inverter; a disturbed storage
+        node crossing the *opposing* inverter's trip point flips the cell,
+        which is exactly the static read-disturb / write criterion used by
+        the Monte-Carlo failure analysis.
+        """
+        dvtn_b, dvtp_b = np.broadcast_arrays(
+            np.asarray(dvt_n, dtype=float), np.asarray(dvt_p, dtype=float)
+        )
+        shape = dvtn_b.shape
+
+        def node_eq(v):
+            # At vin = vout = v the net pull-down is increasing in v.
+            return self.net_pulldown(v, v, vdd, dvt_n=dvtn_b, dvt_p=dvtp_b)
+
+        return solve_node_voltage(node_eq, 0.0, vdd, shape=shape)
+
+
+def vtc_curve(
+    inverter: Inverter,
+    vdd: float,
+    n_points: int = 101,
+    dvt_n: float = 0.0,
+    dvt_p: float = 0.0,
+) -> tuple:
+    """Voltage-transfer curve ``(vin_grid, vout)`` of an inverter."""
+    vin = np.linspace(0.0, vdd, n_points)
+    vout = inverter.vout(vin, vdd, dvt_n=dvt_n, dvt_p=dvt_p)
+    return vin, np.asarray(vout)
+
+
+def switching_threshold(
+    inverter: Inverter, vdd: float, dvt_n: float = 0.0, dvt_p: float = 0.0
+) -> float:
+    """Scalar convenience wrapper around :meth:`Inverter.switching_threshold`."""
+    return float(inverter.switching_threshold(vdd, dvt_n=dvt_n, dvt_p=dvt_p))

@@ -1,0 +1,192 @@
+"""Smoothed alpha-power-law MOSFET model.
+
+This is the compact transistor abstraction used for every circuit
+computation in the repository: bitcell node solutions, stability margins,
+Monte-Carlo failure analysis and leakage estimation.  It follows the
+Sakurai–Newton alpha-power law in strong inversion, blended smoothly into
+an exponential subthreshold region so that DC node solvers see a current
+that is continuous and strictly monotonic in both terminal voltages.
+
+Model summary (all quantities per device, NMOS convention)::
+
+    vt_eff  = vt0 + dvt - dibl * vds                  (DIBL)
+    u       = (vgs - vt_eff) / (n * vT)
+    vov     = n * vT * softplus(u)                    (smooth overdrive)
+    id_sat  = k' * (W/L) * vov**alpha * (1 + lambda * vds)
+    vdsat   = vdsat_factor * vov
+    id      = id_sat * f(vds / vdsat)                 (linear/saturation)
+    f(x)    = x * (2 - x)  for x < 1, else 1
+    id     *= (1 - exp(-vds / vT))                    (vds -> 0 correctness)
+
+The softplus overdrive reproduces ``exp((vgs - vt)/(n vT / alpha))`` deep
+in subthreshold, so the per-decade swing equals the card's
+``subthreshold_swing`` (the ideality ``n`` folds the ``alpha`` exponent
+back out — see :meth:`repro.devices.technology.MosfetParams.ideality`).
+
+PMOS devices use source-referenced magnitudes: call
+:meth:`Mosfet.current` with ``vgs = Vsg`` and ``vds = Vsd``.
+
+Everything is vectorized: ``vgs``, ``vds`` and the threshold shift ``dvt``
+may be numpy arrays of any broadcast-compatible shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.devices.technology import THERMAL_VOLTAGE, MosfetParams, Technology
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _softplus(x: ArrayLike) -> np.ndarray:
+    """Numerically safe ``log(1 + exp(x))``.
+
+    For large positive ``x`` returns ``x`` directly, avoiding overflow; for
+    large negative ``x`` returns ``exp(x)`` to machine precision.
+    """
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    pos = x > 30.0
+    neg = x < -30.0
+    mid = ~(pos | neg)
+    out[pos] = x[pos]
+    out[neg] = np.exp(x[neg])
+    out[mid] = np.log1p(np.exp(x[mid]))
+    return out
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """A sized transistor bound to a model card.
+
+    Attributes
+    ----------
+    params:
+        The :class:`~repro.devices.technology.MosfetParams` model card.
+    width, length:
+        Drawn geometry in metres.
+    name:
+        Optional instance name used in error messages and reports
+        (e.g. ``"PD_L"`` for the left pull-down of a 6T cell).
+    """
+
+    params: MosfetParams
+    width: float
+    length: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.length <= 0:
+            raise ConfigurationError(
+                f"{self.name or 'mosfet'}: geometry must be positive "
+                f"(W={self.width}, L={self.length})"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    @property
+    def aspect(self) -> float:
+        """W/L ratio."""
+        return self.width / self.length
+
+    def sigma_vt(self, technology: Technology) -> float:
+        """Pelgrom-scaled VT-fluctuation sigma for this device (volts).
+
+        Implements eq. (1) of the paper:
+        ``sigma = sigma_vt0 * sqrt((Lmin/L) * (Wmin/W))``.
+        """
+        return technology.sigma_vt0 * np.sqrt(
+            (technology.l_min / self.length) * (technology.w_min / self.width)
+        )
+
+    # ------------------------------------------------------------------
+    # I-V model
+    # ------------------------------------------------------------------
+    def current(self, vgs: ArrayLike, vds: ArrayLike, dvt: ArrayLike = 0.0) -> np.ndarray:
+        """Drain current (amperes, always >= 0) at the given bias.
+
+        Parameters
+        ----------
+        vgs, vds:
+            Source-referenced gate and drain voltages.  For PMOS pass the
+            magnitudes ``Vsg`` and ``Vsd``.  Negative ``vds`` is clipped to
+            zero (the static solvers never bias a device in reverse; the
+            clip keeps root finders safe at bracketing extremes).
+        dvt:
+            Threshold-voltage shift added to ``vt0`` — this is how
+            Monte-Carlo ΔVT samples enter the model.  Broadcasts against
+            the bias arrays.
+        """
+        p = self.params
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.maximum(np.asarray(vds, dtype=float), 0.0)
+        dvt = np.asarray(dvt, dtype=float)
+
+        n_vt = p.ideality * THERMAL_VOLTAGE
+        vt_eff = p.vt0 + dvt - p.dibl * vds
+        vov = n_vt * _softplus((vgs - vt_eff) / n_vt)
+
+        id_sat = p.k_prime * self.aspect * np.power(vov, p.alpha)
+        id_sat = id_sat * (1.0 + p.lambda_cl * vds)
+
+        vdsat = p.vdsat_factor * vov
+        # x*(2-x) capped at 1: continuous, monotonic linear/saturation blend.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x = np.where(vdsat > 0, vds / np.maximum(vdsat, 1e-30), np.inf)
+        region = np.where(x < 1.0, x * (2.0 - x), 1.0)
+
+        drain_clamp = -np.expm1(-vds / THERMAL_VOLTAGE)
+        return id_sat * region * drain_clamp
+
+    def on_current(self, vdd: float, dvt: ArrayLike = 0.0) -> np.ndarray:
+        """Saturated drive current at ``vgs = vds = vdd`` (the Ion figure)."""
+        return self.current(vdd, vdd, dvt=dvt)
+
+    def off_current(self, vdd: float, dvt: ArrayLike = 0.0) -> np.ndarray:
+        """Subthreshold leakage at ``vgs = 0``, ``vds = vdd`` (the Ioff figure)."""
+        return self.current(0.0, vdd, dvt=dvt)
+
+    def conductance_at(
+        self, vgs: float, vds: float, dvt: float = 0.0, delta: float = 1e-4
+    ) -> float:
+        """Numerical output conductance d(Id)/d(Vds), used in tests to check
+        the model is strictly monotonic (a requirement of the bisection
+        node solvers)."""
+        lo = self.current(vgs, max(vds - delta, 0.0), dvt=dvt)
+        hi = self.current(vgs, vds + delta, dvt=dvt)
+        return float((hi - lo) / (2 * delta))
+
+    def resized(self, width: float = None, length: float = None) -> "Mosfet":
+        """A copy of this device with new geometry (used by sizing search)."""
+        return Mosfet(
+            params=self.params,
+            width=self.width if width is None else width,
+            length=self.length if length is None else length,
+            name=self.name,
+        )
+
+
+def nmos(technology: Technology, width: float, length: float = None, name: str = "") -> Mosfet:
+    """Construct an NMOS device in ``technology`` (length defaults to Lmin)."""
+    return Mosfet(
+        params=technology.nmos,
+        width=width,
+        length=technology.l_min if length is None else length,
+        name=name,
+    )
+
+
+def pmos(technology: Technology, width: float, length: float = None, name: str = "") -> Mosfet:
+    """Construct a PMOS device in ``technology`` (length defaults to Lmin)."""
+    return Mosfet(
+        params=technology.pmos,
+        width=width,
+        length=technology.l_min if length is None else length,
+        name=name,
+    )

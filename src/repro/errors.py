@@ -1,0 +1,30 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library errors without also
+swallowing programming mistakes such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or out-of-range parameters."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical solver failed to converge to the requested tolerance."""
+
+
+class CalibrationError(ReproError):
+    """A calibration routine could not reach its target within bounds."""
+
+
+class SimulationError(ReproError):
+    """A simulation produced an invalid or physically meaningless state."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded as requested."""

@@ -1,0 +1,91 @@
+"""Vectorized bit-flip machinery on fixed-point code arrays.
+
+Faults are expressed as XOR masks over unsigned code arrays: bit ``k``
+of ``mask[i]`` set means "cell storing bit ``k`` of synapse ``i`` is
+faulty".  Masks are sampled independently per bit with a per-bit-position
+probability vector — exactly the "distribution of bit failures depends
+on the memory configuration" modelling of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+
+
+def random_flip_mask(
+    shape: tuple,
+    p_bits: Union[float, Sequence[float]],
+    n_bits: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Sample an XOR flip mask.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the code array the mask will be applied to.
+    p_bits:
+        Per-bit flip probability: a scalar (uniform over positions — the
+        all-6T case) or a length-``n_bits`` vector indexed LSB-first
+        (position 0 = LSB).
+    n_bits:
+        Word width.
+    seed:
+        RNG seed or generator.
+
+    Returns
+    -------
+    numpy.ndarray of dtype uint16 with bits above ``n_bits`` clear.
+    """
+    if n_bits < 1 or n_bits > 16:
+        raise ConfigurationError(f"n_bits must lie in [1, 16], got {n_bits}")
+    p = np.asarray(p_bits, dtype=float)
+    if p.ndim == 0:
+        p = np.full(n_bits, float(p))
+    if p.shape != (n_bits,):
+        raise ConfigurationError(
+            f"p_bits must be scalar or length-{n_bits}, got shape {p.shape}"
+        )
+    if np.any((p < 0) | (p > 1)):
+        raise ConfigurationError("bit-flip probabilities must lie in [0, 1]")
+
+    rng = ensure_rng(seed)
+    mask = np.zeros(shape, dtype=np.uint16)
+    for bit in range(n_bits):
+        if p[bit] == 0.0:
+            continue
+        flips = rng.random(shape) < p[bit]
+        mask |= flips.astype(np.uint16) << bit
+    return mask
+
+
+def apply_flip_mask(codes: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """XOR a flip mask into a code array (returns a new array)."""
+    codes = np.asarray(codes)
+    mask = np.asarray(mask, dtype=codes.dtype)
+    if codes.shape != mask.shape:
+        raise ConfigurationError(
+            f"mask shape {mask.shape} != codes shape {codes.shape}"
+        )
+    return codes ^ mask
+
+
+def count_flipped_bits(mask: np.ndarray) -> int:
+    """Total number of set bits across a mask array."""
+    mask = np.asarray(mask)
+    if mask.size == 0:
+        return 0
+    # uint16 popcount via the unpackbits view of the two bytes.
+    as_bytes = mask.astype(np.uint16).view(np.uint8)
+    return int(np.unpackbits(as_bytes).sum())
+
+
+def flips_per_bit_position(mask: np.ndarray, n_bits: int) -> np.ndarray:
+    """Histogram of set bits by position (index 0 = LSB)."""
+    mask = np.asarray(mask).ravel()
+    return np.array([int(((mask >> b) & 1).sum()) for b in range(n_bits)])

@@ -1,0 +1,100 @@
+"""Application of sampled bit faults to a network's memory image.
+
+A :class:`WeightFaultInjector` owns one fault vector per weight layer
+(bank) — uniform layouts for the base and Config-1 memories, per-layer
+layouts for the sensitivity-driven Config 2 — and produces perturbed
+clones of a :class:`~repro.nn.quantize.QuantizedWeights` image.
+
+Faults are *persistent per trial*: a ΔVT-failing cell fails on every
+access, so one sampled mask per evaluation trial models one fabricated
+die.  Averaging over trials averages over dies, matching the Monte-Carlo
+interpretation of the failure probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fault.bitflip import apply_flip_mask, count_flipped_bits, random_flip_mask
+from repro.fault.model import BitErrorRates
+from repro.nn.quantize import QuantizedWeights
+from repro.rng import SeedLike, derive_seed
+
+
+class WeightFaultInjector:
+    """Injects per-bank bit faults into quantized synaptic weights.
+
+    Parameters
+    ----------
+    layer_rates:
+        One :class:`~repro.fault.model.BitErrorRates` per weight layer,
+        input-side first.  Biases of a layer live in the same bank as its
+        weights and receive the same fault vector.
+    """
+
+    def __init__(self, layer_rates: Sequence[BitErrorRates]):
+        if not layer_rates:
+            raise ConfigurationError("need at least one layer's error rates")
+        widths = {r.n_bits for r in layer_rates}
+        if len(widths) != 1:
+            raise ConfigurationError(f"inconsistent word widths: {widths}")
+        self.layer_rates: List[BitErrorRates] = list(layer_rates)
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layer_rates)
+
+    @property
+    def n_bits(self) -> int:
+        return self.layer_rates[0].n_bits
+
+    def inject(
+        self, image: QuantizedWeights, seed: SeedLike = None
+    ) -> QuantizedWeights:
+        """Return a fault-perturbed clone of ``image`` (one sampled die)."""
+        if image.n_layers != self.n_layers:
+            raise ConfigurationError(
+                f"image has {image.n_layers} layers, injector has {self.n_layers}"
+            )
+        if image.fmt.n_bits != self.n_bits:
+            raise ConfigurationError(
+                f"word width mismatch: image {image.fmt.n_bits}, "
+                f"injector {self.n_bits}"
+            )
+        out = image.clone()
+        for i, rates in enumerate(self.layer_rates):
+            p = rates.p_total
+            w_mask = random_flip_mask(
+                out.weight_codes[i].shape, p, self.n_bits,
+                seed=derive_seed(seed, i, 0),
+            )
+            b_mask = random_flip_mask(
+                out.bias_codes[i].shape, p, self.n_bits,
+                seed=derive_seed(seed, i, 1),
+            )
+            out.weight_codes[i] = apply_flip_mask(out.weight_codes[i], w_mask)
+            out.bias_codes[i] = apply_flip_mask(out.bias_codes[i], b_mask)
+        return out
+
+    def expected_flips(self, image: QuantizedWeights) -> float:
+        """Expected number of flipped bits for this image (analytic)."""
+        total = 0.0
+        for i, rates in enumerate(self.layer_rates):
+            synapses = image.weight_codes[i].size + image.bias_codes[i].size
+            total += synapses * rates.expected_flips_per_word
+        return total
+
+    def sample_flip_count(
+        self, image: QuantizedWeights, seed: SeedLike = None
+    ) -> int:
+        """Actual flipped-bit count of one sampled injection (diagnostics)."""
+        perturbed = self.inject(image, seed=seed)
+        flips = 0
+        for clean_w, bad_w in zip(image.weight_codes, perturbed.weight_codes):
+            flips += count_flipped_bits(clean_w ^ bad_w)
+        for clean_b, bad_b in zip(image.bias_codes, perturbed.bias_codes):
+            flips += count_flipped_bits(clean_b ^ bad_b)
+        return flips

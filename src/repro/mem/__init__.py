@@ -1,0 +1,39 @@
+"""Synaptic memory architectures (paper Fig. 3).
+
+* :mod:`~repro.mem.word` — hybrid word layouts (``n`` MSBs in 8T).
+* :mod:`~repro.mem.tables` — paired 6T/8T characterizations sharing the
+  6T timing budget.
+* :mod:`~repro.mem.bank` — one 8T-6T SRAM bank storing the synapses
+  fanning out of one ANN layer.
+* :mod:`~repro.mem.architecture` — a full multi-bank synaptic memory at
+  an operating voltage.
+* :mod:`~repro.mem.configs` — the paper's three configurations: base
+  (all 6T), Config 1 (uniform MSB protection), Config 2 (per-layer,
+  sensitivity-driven protection).
+* :mod:`~repro.mem.accounting` — access-power / leakage / area
+  comparisons against a baseline (the iso-stability 6T @ 0.75 V of the
+  paper's Sec. VI-B).
+"""
+
+from repro.mem.word import WordFormat
+from repro.mem.tables import CellTables
+from repro.mem.bank import HybridBank
+from repro.mem.architecture import SynapticMemoryArchitecture
+from repro.mem.configs import (
+    base_architecture,
+    config1_architecture,
+    config2_architecture,
+)
+from repro.mem.accounting import ComparisonReport, compare_architectures
+
+__all__ = [
+    "WordFormat",
+    "CellTables",
+    "HybridBank",
+    "SynapticMemoryArchitecture",
+    "base_architecture",
+    "config1_architecture",
+    "config2_architecture",
+    "ComparisonReport",
+    "compare_architectures",
+]

@@ -1,0 +1,79 @@
+"""Power/area comparison of memory architectures.
+
+Reproduces the paper's accounting conventions:
+
+* **iso-stability baseline** (Sec. VI-B): the hybrid configurations at a
+  scaled voltage are compared against the all-6T memory at 0.75 V — the
+  lowest voltage where the 6T memory is still accuracy-safe.
+* **% reduction in power** — separately for memory access power and
+  leakage power (Fig. 7(b), 8(b), 9).
+* **% increase in area** — cell-count arithmetic of the hybrid rows
+  (Fig. 8(c), 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.architecture import SynapticMemoryArchitecture
+
+#: The paper's iso-stability baseline voltage for a 6T synaptic memory.
+BASELINE_VDD_6T = 0.75
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Relative power/area figures of a candidate vs a baseline memory."""
+
+    candidate: str
+    baseline: str
+    candidate_vdd: float
+    baseline_vdd: float
+    access_power_candidate: float
+    access_power_baseline: float
+    leakage_power_candidate: float
+    leakage_power_baseline: float
+    area_candidate: float
+    area_baseline: float
+
+    @property
+    def access_power_reduction_pct(self) -> float:
+        """Positive = the candidate consumes less access power."""
+        return 100.0 * (1.0 - self.access_power_candidate / self.access_power_baseline)
+
+    @property
+    def leakage_power_reduction_pct(self) -> float:
+        return 100.0 * (1.0 - self.leakage_power_candidate / self.leakage_power_baseline)
+
+    @property
+    def area_overhead_pct(self) -> float:
+        """Positive = the candidate needs more area."""
+        return 100.0 * (self.area_candidate / self.area_baseline - 1.0)
+
+    def summary(self) -> str:
+        return (
+            f"{self.candidate} @ {self.candidate_vdd:.2f} V vs "
+            f"{self.baseline} @ {self.baseline_vdd:.2f} V: "
+            f"access power {self.access_power_reduction_pct:+.2f}%, "
+            f"leakage {self.leakage_power_reduction_pct:+.2f}%, "
+            f"area {self.area_overhead_pct:+.2f}%"
+        )
+
+
+def compare_architectures(
+    candidate: SynapticMemoryArchitecture,
+    baseline: SynapticMemoryArchitecture,
+) -> ComparisonReport:
+    """Compare two memories, each at its own operating voltage."""
+    return ComparisonReport(
+        candidate=candidate.name,
+        baseline=baseline.name,
+        candidate_vdd=candidate.vdd,
+        baseline_vdd=baseline.vdd,
+        access_power_candidate=candidate.access_power,
+        access_power_baseline=baseline.access_power,
+        leakage_power_candidate=candidate.leakage_power,
+        leakage_power_baseline=baseline.leakage_power,
+        area_candidate=candidate.area,
+        area_baseline=baseline.area,
+    )

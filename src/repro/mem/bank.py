@@ -1,0 +1,98 @@
+"""One hybrid 8T-6T SRAM bank.
+
+A bank stores all synapses fanning out of one ANN layer (paper Fig. 3(c))
+with a single word layout.  All figures of merit are per-bank:
+energy/power for streaming its words, static leakage, layout area, and
+the per-bit fault vector its words experience at a given voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fault.model import BitErrorRates, word_bit_error_rates
+from repro.mem.tables import CellTables
+from repro.mem.word import WordFormat
+
+
+@dataclass(frozen=True)
+class HybridBank:
+    """``n_words`` synaptic words of one layout, backed by cell tables."""
+
+    name: str
+    n_words: int
+    word: WordFormat
+    tables: CellTables
+
+    def __post_init__(self) -> None:
+        if self.n_words <= 0:
+            raise ConfigurationError(
+                f"bank {self.name!r}: n_words must be positive, got {self.n_words}"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_bits_total(self) -> int:
+        return self.n_words * self.word.n_bits
+
+    @property
+    def n_8t_cells(self) -> int:
+        return self.n_words * self.word.msb_in_8t
+
+    @property
+    def n_6t_cells(self) -> int:
+        return self.n_words * self.word.lsb_in_6t
+
+    @property
+    def area(self) -> float:
+        """Bank cell area (m^2); the hybrid row layout adds nothing else."""
+        return (self.n_6t_cells * self.tables.table_6t.area
+                + self.n_8t_cells * self.tables.table_8t.area)
+
+    # ------------------------------------------------------------------
+    # Energy / power at an operating voltage
+    # ------------------------------------------------------------------
+    def read_energy_per_word(self, vdd: float) -> float:
+        p6 = self.tables.table_6t.point_at(vdd)
+        p8 = self.tables.table_8t.point_at(vdd)
+        return (self.word.lsb_in_6t * p6.read_energy
+                + self.word.msb_in_8t * p8.read_energy)
+
+    def write_energy_per_word(self, vdd: float) -> float:
+        p6 = self.tables.table_6t.point_at(vdd)
+        p8 = self.tables.table_8t.point_at(vdd)
+        return (self.word.lsb_in_6t * p6.write_energy
+                + self.word.msb_in_8t * p8.write_energy)
+
+    def access_power(self, vdd: float) -> float:
+        """Power while streaming reads from this bank (one word/cycle)."""
+        return self.read_energy_per_word(vdd) / self.tables.cycle_time(vdd)
+
+    def leakage_power(self, vdd: float) -> float:
+        p6 = self.tables.table_6t.point_at(vdd)
+        p8 = self.tables.table_8t.point_at(vdd)
+        return (self.n_6t_cells * p6.leakage_power
+                + self.n_8t_cells * p8.leakage_power)
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def bit_error_rates(
+        self,
+        vdd: float,
+        include_write_failures: bool = True,
+        include_read_disturb: bool = True,
+    ) -> BitErrorRates:
+        """Per-bit fault vector of this bank's words at ``vdd``."""
+        return word_bit_error_rates(
+            vdd,
+            self.tables.table_6t,
+            self.tables.table_8t,
+            n_bits=self.word.n_bits,
+            msb_in_8t=self.word.msb_in_8t,
+            include_write_failures=include_write_failures,
+            include_read_disturb=include_read_disturb,
+        )

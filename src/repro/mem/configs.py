@@ -1,0 +1,81 @@
+"""Factories for the paper's three synaptic-memory configurations
+(Fig. 3): base all-6T, significance-driven Config 1, and
+sensitivity-driven Config 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.mem.architecture import SynapticMemoryArchitecture
+from repro.mem.bank import HybridBank
+from repro.mem.tables import CellTables
+from repro.mem.word import WordFormat
+
+
+def _banks(
+    layer_synapses: Sequence[int],
+    msb_per_layer: Sequence[int],
+    tables: CellTables,
+    n_bits: int,
+) -> list:
+    if len(layer_synapses) != len(msb_per_layer):
+        raise ConfigurationError(
+            f"{len(layer_synapses)} layers but {len(msb_per_layer)} MSB counts"
+        )
+    banks = []
+    for i, (n_words, n_msb) in enumerate(zip(layer_synapses, msb_per_layer)):
+        banks.append(
+            HybridBank(
+                name=f"bank{i}",
+                n_words=int(n_words),
+                word=WordFormat(n_bits=n_bits, msb_in_8t=int(n_msb)),
+                tables=tables,
+            )
+        )
+    return banks
+
+
+def base_architecture(
+    layer_synapses: Sequence[int],
+    tables: CellTables,
+    vdd: float,
+    n_bits: int = 8,
+) -> SynapticMemoryArchitecture:
+    """Fig. 3(a): the conventional all-6T synaptic memory."""
+    banks = _banks(layer_synapses, [0] * len(layer_synapses), tables, n_bits)
+    return SynapticMemoryArchitecture(name="base-6t", banks=banks, vdd=vdd)
+
+
+def config1_architecture(
+    layer_synapses: Sequence[int],
+    tables: CellTables,
+    vdd: float,
+    msb_in_8t: int,
+    n_bits: int = 8,
+) -> SynapticMemoryArchitecture:
+    """Fig. 3(b): significance-driven hybrid — the same ``n`` MSBs of
+    *every* synaptic word are stored in 8T cells."""
+    banks = _banks(layer_synapses, [msb_in_8t] * len(layer_synapses), tables, n_bits)
+    word = WordFormat(n_bits=n_bits, msb_in_8t=msb_in_8t)
+    return SynapticMemoryArchitecture(
+        name=f"config1-{word.label}", banks=banks, vdd=vdd
+    )
+
+
+def config2_architecture(
+    layer_synapses: Sequence[int],
+    tables: CellTables,
+    vdd: float,
+    msb_per_layer: Sequence[int],
+    n_bits: int = 8,
+) -> SynapticMemoryArchitecture:
+    """Fig. 3(c): synaptic-sensitivity driven hybrid — one bank per ANN
+    layer, each protecting an MSB count chosen from that layer's
+    sensitivity (see :mod:`repro.core.sensitivity`)."""
+    banks = _banks(layer_synapses, msb_per_layer, tables, n_bits)
+    alloc = ",".join(str(int(n)) for n in msb_per_layer)
+    return SynapticMemoryArchitecture(
+        name=f"config2-({alloc})", banks=banks, vdd=vdd
+    )

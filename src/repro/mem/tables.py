@@ -1,0 +1,61 @@
+"""Paired 6T/8T cell characterizations under a common timing budget.
+
+The hybrid array clocks both cell types on the 6T-compatible cycle
+("designed for equal read access and write times", paper Sec. IV), so
+the 8T cell must be characterized against the *6T* read budget — that is
+what :meth:`CellTables.build` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.devices.technology import Technology, ptm22
+from repro.rng import DEFAULT_SEED
+from repro.sram.bitcell import make_cell
+from repro.sram.characterize import (
+    DEFAULT_VDD_GRID,
+    CellCharacterization,
+    characterize_cell,
+)
+from repro.sram.read_path import BitlineModel, nominal_read_cycle
+
+
+@dataclass(frozen=True)
+class CellTables:
+    """The 6T and 8T characterization tables used by all memory math."""
+
+    table_6t: CellCharacterization
+    table_8t: CellCharacterization
+
+    @classmethod
+    def build(
+        cls,
+        technology: Optional[Technology] = None,
+        vdd_grid: Sequence[float] = DEFAULT_VDD_GRID,
+        rows: int = 256,
+        n_samples: int = 20000,
+        seed: int = DEFAULT_SEED,
+        use_cache: bool = True,
+        cache_dir: Optional[str] = None,
+    ) -> "CellTables":
+        """Characterize both cells (cached) with the shared 6T budget."""
+        tech = technology or ptm22()
+        cell6 = make_cell("6t", tech)
+        budget = nominal_read_cycle(
+            cell6, bitline=BitlineModel(tech, rows=rows).for_cell(cell6)
+        )
+        common = dict(
+            technology=tech, vdd_grid=vdd_grid, rows=rows,
+            n_samples=n_samples, seed=seed, read_cycle=budget,
+            use_cache=use_cache, cache_dir=cache_dir,
+        )
+        return cls(
+            table_6t=characterize_cell(cell_kind="6t", **common),
+            table_8t=characterize_cell(cell_kind="8t", **common),
+        )
+
+    def cycle_time(self, vdd: float) -> float:
+        """Shared array cycle at ``vdd`` (the 6T voltage-scaled cycle)."""
+        return self.table_6t.point_at(vdd).cycle_time

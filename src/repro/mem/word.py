@@ -1,0 +1,59 @@
+"""Hybrid synaptic word layouts.
+
+A :class:`WordFormat` describes how one fixed-point synaptic word is
+split across bitcell types: the top ``msb_in_8t`` bits sit in robust 8T
+cells, the remaining LSBs in dense 6T cells.  The paper writes these as
+``(#MSBs (8T), #LSBs (6T))`` pairs, e.g. ``(3,5)`` — reproduced by
+:meth:`WordFormat.label`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WordFormat:
+    """A synaptic word: ``n_bits`` total, top ``msb_in_8t`` bits in 8T."""
+
+    n_bits: int = 8
+    msb_in_8t: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 1:
+            raise ConfigurationError(f"n_bits must be >= 1, got {self.n_bits}")
+        if not 0 <= self.msb_in_8t <= self.n_bits:
+            raise ConfigurationError(
+                f"msb_in_8t must lie in [0, {self.n_bits}], got {self.msb_in_8t}"
+            )
+
+    @property
+    def lsb_in_6t(self) -> int:
+        return self.n_bits - self.msb_in_8t
+
+    @property
+    def is_hybrid(self) -> bool:
+        return 0 < self.msb_in_8t < self.n_bits
+
+    @property
+    def is_all_6t(self) -> bool:
+        return self.msb_in_8t == 0
+
+    @property
+    def is_all_8t(self) -> bool:
+        return self.msb_in_8t == self.n_bits
+
+    @property
+    def label(self) -> str:
+        """The paper's ``(#MSBs (8T), #LSBs (6T))`` notation."""
+        return f"({self.msb_in_8t},{self.lsb_in_6t})"
+
+    def bit_is_8t(self, bit: int) -> bool:
+        """Is bit position ``bit`` (0 = LSB) stored in an 8T cell?"""
+        if not 0 <= bit < self.n_bits:
+            raise ConfigurationError(
+                f"bit must lie in [0, {self.n_bits}), got {bit}"
+            )
+        return bit >= self.lsb_in_6t

@@ -1,0 +1,56 @@
+"""Feedforward ANN substrate (the paper's "deep learning toolbox" stand-in).
+
+Pure-numpy implementation of everything the system-level study needs:
+
+* :mod:`~repro.nn.network` / :mod:`~repro.nn.layers` — multilayer
+  perceptrons with sigmoid units (paper Fig. 1 / Sec. II).
+* :mod:`~repro.nn.trainer` — minibatch SGD backpropagation.
+* :mod:`~repro.nn.datasets` — a synthetic handwritten-digit task with
+  MNIST's tensor shapes (MNIST itself is not redistributable offline;
+  see DESIGN.md for the substitution rationale).
+* :mod:`~repro.nn.quantize` — fixed-point synaptic weights (8-bit in the
+  paper's evaluation), exposed as two's-complement integer arrays so the
+  fault injector can flip physical bits.
+"""
+
+from repro.nn.activations import Activation, Sigmoid, Tanh, ReLU, get_activation
+from repro.nn.initializers import glorot_uniform, he_normal, zeros_init
+from repro.nn.layers import DenseLayer
+from repro.nn.network import FeedforwardANN, NetworkSpec
+from repro.nn.loss import CrossEntropyLoss, MeanSquaredError, get_loss
+from repro.nn.trainer import SGDTrainer, TrainingResult
+from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy
+from repro.nn.quantize import (
+    QFormat,
+    QuantizedWeights,
+    dequantize_array,
+    quantize_array,
+    quantize_network,
+)
+
+__all__ = [
+    "Activation",
+    "Sigmoid",
+    "Tanh",
+    "ReLU",
+    "get_activation",
+    "glorot_uniform",
+    "he_normal",
+    "zeros_init",
+    "DenseLayer",
+    "FeedforwardANN",
+    "NetworkSpec",
+    "CrossEntropyLoss",
+    "MeanSquaredError",
+    "get_loss",
+    "SGDTrainer",
+    "TrainingResult",
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "QFormat",
+    "QuantizedWeights",
+    "quantize_array",
+    "dequantize_array",
+    "quantize_network",
+]

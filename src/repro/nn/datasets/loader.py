@@ -1,0 +1,64 @@
+"""Dataset container and the standard train/val/test loading entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.nn.datasets.synth_digits import SyntheticDigitConfig, generate_digit_images
+from repro.rng import SeedLike, derive_seed
+
+
+@dataclass(frozen=True)
+class DigitDataset:
+    """Train/validation/test split of the digit task."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    @property
+    def n_features(self) -> int:
+        return self.x_train.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.y_train.max()) + 1
+
+    def summary(self) -> str:
+        return (
+            f"DigitDataset(train={len(self.y_train)}, val={len(self.y_val)}, "
+            f"test={len(self.y_test)}, features={self.n_features})"
+        )
+
+
+def load_synthetic_digits(
+    n_train: int = 10000,
+    n_val: int = 1000,
+    n_test: int = 2000,
+    seed: SeedLike = None,
+    config: SyntheticDigitConfig = SyntheticDigitConfig(),
+) -> DigitDataset:
+    """Generate a full train/val/test digit dataset.
+
+    The three splits use independent derived seeds so that changing the
+    training-set size does not silently change the test set.
+    """
+    if min(n_train, n_val, n_test) <= 0:
+        raise DatasetError("all split sizes must be positive")
+    x_train, y_train = generate_digit_images(n_train, seed=derive_seed(seed, 1),
+                                             config=config)
+    x_val, y_val = generate_digit_images(n_val, seed=derive_seed(seed, 2),
+                                         config=config)
+    x_test, y_test = generate_digit_images(n_test, seed=derive_seed(seed, 3),
+                                           config=config)
+    return DigitDataset(
+        x_train=x_train, y_train=y_train,
+        x_val=x_val, y_val=y_val,
+        x_test=x_test, y_test=y_test,
+    )

@@ -1,0 +1,39 @@
+"""Weight initializers (seeded, deterministic)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import SeedLike, ensure_rng
+
+
+#: Init gain per activation.  Sigmoid squashes its input's variance by
+#: ~1/16 (max slope 1/4), so deep sigmoid stacks need the classic 4x
+#: Glorot correction or gradients vanish before training starts.
+ACTIVATION_GAIN = {"sigmoid": 4.0, "tanh": 1.0, "relu": 1.414, "identity": 1.0}
+
+
+def glorot_uniform(shape: tuple, seed: SeedLike = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-r, r) with r = gain * sqrt(6/(fan_in+fan_out)).
+
+    Pass ``gain=ACTIVATION_GAIN[...]`` to keep signal variance constant
+    through the chosen nonlinearity; this is what lets the paper's
+    6-layer sigmoid network train with plain SGD.
+    """
+    rng = ensure_rng(seed)
+    fan_out, fan_in = shape[0], shape[1] if len(shape) > 1 else shape[0]
+    r = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-r, r, size=shape)
+
+
+def he_normal(shape: tuple, seed: SeedLike = None) -> np.ndarray:
+    """He normal: N(0, sqrt(2/fan_in)) — for the ReLU ablation."""
+    rng = ensure_rng(seed)
+    fan_in = shape[1] if len(shape) > 1 else shape[0]
+    return rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)
+
+
+def zeros_init(shape: tuple, seed: SeedLike = None) -> np.ndarray:
+    """All-zeros (biases)."""
+    del seed
+    return np.zeros(shape)

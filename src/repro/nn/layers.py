@@ -1,0 +1,115 @@
+"""Fully connected layers with explicit forward/backward passes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import Activation, get_activation
+from repro.nn.initializers import ACTIVATION_GAIN, glorot_uniform, zeros_init
+from repro.rng import SeedLike
+
+
+class DenseLayer:
+    """One fully connected layer: ``a = act(x @ W.T + b)``.
+
+    Weights have shape ``(n_out, n_in)``, matching the paper's "synapses
+    fanning *into* a neuron" orientation: row ``i`` holds the synaptic
+    weights of output neuron ``i``.  Biases are the per-neuron offsets
+    (the paper's synapse count 1,406,810 includes them; see DESIGN.md).
+
+    The layer is deliberately mutable: the fault injector replaces
+    ``weights`` wholesale with perturbed dequantized values, and the
+    trainer updates parameters in place.
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        activation: str = "sigmoid",
+        seed: SeedLike = None,
+        name: str = "",
+    ):
+        if n_in <= 0 or n_out <= 0:
+            raise ConfigurationError(
+                f"layer dimensions must be positive ({n_in} -> {n_out})"
+            )
+        self.n_in = int(n_in)
+        self.n_out = int(n_out)
+        self.name = name or f"dense_{n_in}x{n_out}"
+        self.activation: Activation = (
+            activation if isinstance(activation, Activation)
+            else get_activation(activation)
+        )
+        gain = ACTIVATION_GAIN.get(self.activation.name, 1.0)
+        self.weights = glorot_uniform((self.n_out, self.n_in), seed=seed, gain=gain)
+        self.biases = zeros_init((self.n_out,))
+        # Gradients and cached forward tensors (populated by forward/backward).
+        self.grad_weights: Optional[np.ndarray] = None
+        self.grad_biases: Optional[np.ndarray] = None
+        self._x: Optional[np.ndarray] = None
+        self._z: Optional[np.ndarray] = None
+        self._a: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_synapses(self) -> int:
+        """Weights + biases, the paper's synapse accounting."""
+        return self.n_in * self.n_out + self.n_out
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Forward pass on a batch ``(n_samples, n_in)``.
+
+        With ``train=True`` the inputs and activations are cached for the
+        subsequent backward pass; inference skips the caching.
+        """
+        z = x @ self.weights.T + self.biases
+        a = self.activation.forward(z)
+        if train:
+            self._x, self._z, self._a = x, z, a
+        return a
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward pass: accumulate parameter grads, return input grad.
+
+        ``grad_out`` is dLoss/da for this layer's activations.
+        """
+        if self._x is None:
+            raise ConfigurationError(
+                f"{self.name}: backward() before forward(train=True)"
+            )
+        delta = grad_out * self.activation.derivative(self._z, self._a)
+        batch = self._x.shape[0]
+        self.grad_weights = delta.T @ self._x / batch
+        self.grad_biases = delta.mean(axis=0)
+        return delta @ self.weights
+
+    def apply_gradients(self, lr: float) -> None:
+        """Vanilla SGD step (momentum lives in the trainer)."""
+        if self.grad_weights is None:
+            raise ConfigurationError(f"{self.name}: no gradients to apply")
+        self.weights -= lr * self.grad_weights
+        self.biases -= lr * self.grad_biases
+
+    def clone_parameters(self) -> tuple:
+        """Snapshot ``(weights, biases)`` copies (fault-injection restore)."""
+        return self.weights.copy(), self.biases.copy()
+
+    def restore_parameters(self, params: tuple) -> None:
+        """Restore a snapshot taken by :meth:`clone_parameters`."""
+        weights, biases = params
+        if weights.shape != self.weights.shape:
+            raise ConfigurationError(
+                f"{self.name}: parameter shape mismatch on restore"
+            )
+        self.weights = weights.copy()
+        self.biases = biases.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DenseLayer({self.n_in}->{self.n_out}, "
+            f"act={self.activation.name!r})"
+        )

@@ -1,0 +1,175 @@
+"""Minibatch SGD backpropagation trainer (paper Sec. II).
+
+Deliberately classical — momentum SGD with step decay — matching the
+training regime of the paper's toolbox.  Determinism: shuffling derives
+from the trainer seed, so a given (spec, data, trainer) triple always
+produces the same network.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.loss import Loss, get_loss
+from repro.nn.metrics import accuracy
+from repro.nn.network import FeedforwardANN
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class TrainingResult:
+    """Per-epoch history plus the final state of a training run."""
+
+    epochs_run: int = 0
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracy[-1] if self.val_accuracy else float("nan")
+
+    @property
+    def final_train_accuracy(self) -> float:
+        return self.train_accuracy[-1] if self.train_accuracy else float("nan")
+
+
+@dataclass
+class SGDTrainer:
+    """Momentum SGD with optional step decay and early stopping.
+
+    Parameters
+    ----------
+    epochs, batch_size, learning_rate:
+        The usual knobs.
+    momentum:
+        Classical momentum coefficient (0 disables).
+    lr_decay:
+        Multiplicative learning-rate decay applied each epoch.
+    loss:
+        Loss name (``"cross_entropy"`` or ``"mse"``) or a Loss instance.
+    patience:
+        Early-stop after this many epochs without validation improvement
+        (``None`` disables; requires validation data).
+    weight_clip:
+        Projected SGD: clamp every parameter to ``[-clip, +clip]`` after
+        each update.  The benchmark model trains with ``clip=1.0`` so the
+        8-bit synaptic format is the paper's sub-unity Q0.7 layout (sign
+        bit + 7 fraction bits); ``None`` disables.
+    seed:
+        Shuffling seed.
+    verbose:
+        Print one line per epoch.
+    """
+
+    epochs: int = 20
+    batch_size: int = 100
+    learning_rate: float = 0.5
+    momentum: float = 0.9
+    lr_decay: float = 0.97
+    loss: object = "cross_entropy"
+    patience: Optional[int] = None
+    weight_clip: Optional[float] = None
+    seed: SeedLike = None
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ConfigurationError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ConfigurationError("momentum must lie in [0, 1)")
+        if self.weight_clip is not None and self.weight_clip <= 0:
+            raise ConfigurationError("weight_clip must be positive or None")
+
+    def _loss(self) -> Loss:
+        return self.loss if isinstance(self.loss, Loss) else get_loss(self.loss)
+
+    def train(
+        self,
+        network: FeedforwardANN,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray = None,
+        y_val: np.ndarray = None,
+    ) -> TrainingResult:
+        """Train ``network`` in place and return the history."""
+        x_train = np.asarray(x_train, dtype=float)
+        y_train = np.asarray(y_train, dtype=int)
+        if x_train.shape[0] != y_train.shape[0]:
+            raise ConfigurationError("x_train/y_train length mismatch")
+        if self.patience is not None and x_val is None:
+            raise ConfigurationError("early stopping requires validation data")
+
+        rng = ensure_rng(self.seed)
+        loss_fn = self._loss()
+        result = TrainingResult()
+        start = time.perf_counter()
+
+        lr = self.learning_rate
+        velocity = [
+            (np.zeros_like(l.weights), np.zeros_like(l.biases))
+            for l in network.layers
+        ]
+        best_val = -np.inf
+        stale_epochs = 0
+
+        for epoch in range(self.epochs):
+            order = rng.permutation(x_train.shape[0])
+            epoch_losses = []
+            for lo in range(0, len(order), self.batch_size):
+                idx = order[lo:lo + self.batch_size]
+                scores = network.forward(x_train[idx], train=True)
+                loss_value, grad = loss_fn.value_and_grad(scores, y_train[idx])
+                network.backward(grad)
+                for layer, (vw, vb) in zip(network.layers, velocity):
+                    vw *= self.momentum
+                    vw -= lr * layer.grad_weights
+                    vb *= self.momentum
+                    vb -= lr * layer.grad_biases
+                    layer.weights += vw
+                    layer.biases += vb
+                    if self.weight_clip is not None:
+                        np.clip(layer.weights, -self.weight_clip,
+                                self.weight_clip, out=layer.weights)
+                        np.clip(layer.biases, -self.weight_clip,
+                                self.weight_clip, out=layer.biases)
+                epoch_losses.append(loss_value)
+
+            lr *= self.lr_decay
+            result.epochs_run = epoch + 1
+            result.train_loss.append(float(np.mean(epoch_losses)))
+            result.train_accuracy.append(
+                accuracy(network.predict(x_train), y_train)
+            )
+            if x_val is not None:
+                val_acc = accuracy(network.predict(x_val), np.asarray(y_val))
+                result.val_accuracy.append(val_acc)
+                if self.patience is not None:
+                    if val_acc > best_val + 1e-6:
+                        best_val = val_acc
+                        stale_epochs = 0
+                    else:
+                        stale_epochs += 1
+                        if stale_epochs >= self.patience:
+                            break
+            if self.verbose:  # pragma: no cover - console output
+                val = (
+                    f" val={result.val_accuracy[-1]:.4f}"
+                    if result.val_accuracy else ""
+                )
+                print(
+                    f"epoch {epoch + 1:3d}/{self.epochs} "
+                    f"loss={result.train_loss[-1]:.4f} "
+                    f"train={result.train_accuracy[-1]:.4f}{val}"
+                )
+
+        result.wall_seconds = time.perf_counter() - start
+        return result

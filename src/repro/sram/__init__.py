@@ -1,0 +1,84 @@
+"""SRAM substrate: 6T/8T bitcells, stability analysis, Monte-Carlo failure
+rates, power/leakage/area models, and array-level characterization.
+
+This subpackage reproduces Section IV of the paper ("Failure Analysis of
+6T and 8T SRAMs"):
+
+* :mod:`~repro.sram.sizing` / :mod:`~repro.sram.bitcell` — the cell
+  topologies of paper Fig. 4, sized to the paper's stability anchors.
+* :mod:`~repro.sram.snm`, :mod:`~repro.sram.write_margin`,
+  :mod:`~repro.sram.read_path` — static noise margin (butterfly /
+  largest-square), write margin, and bitline read-access delay.
+* :mod:`~repro.sram.failures` + :mod:`~repro.sram.montecarlo` — the three
+  failure mechanisms (read access, write, read disturb) under Gaussian
+  ΔVT, evaluated by vectorized Monte Carlo on a 256x256 sub-array
+  (paper Fig. 5).
+* :mod:`~repro.sram.power` / :mod:`~repro.sram.area` — access energy,
+  leakage and layout area (paper Fig. 6 and the 20%/47%/37% 8T-vs-6T
+  overhead anchors).
+* :mod:`~repro.sram.array` / :mod:`~repro.sram.characterize` — sub-array
+  aggregation and cached VDD sweeps consumed by :mod:`repro.mem` and
+  :mod:`repro.core`.
+"""
+
+from repro.sram.sizing import CellSizing, default_6t_sizing, default_8t_sizing
+from repro.sram.bitcell import BitcellBase, SixTCell, EightTCell, make_cell
+from repro.sram.snm import butterfly_curves, hold_snm, read_snm, largest_square_snm
+from repro.sram.write_margin import write_margin, write_node_voltage
+from repro.sram.read_path import BitlineModel, read_current, read_delay
+from repro.sram.failures import FailureType, FailureMargins
+from repro.sram.montecarlo import (
+    FailureRates,
+    MonteCarloAnalyzer,
+    failure_rates_vs_vdd,
+)
+from repro.sram.power import CellPower, cell_power
+from repro.sram.area import bitcell_area, area_overhead_8t_vs_6t
+from repro.sram.array import SubArray
+from repro.sram.characterize import (
+    CellCharacterization,
+    CharacterizationPoint,
+    characterize_cell,
+    DEFAULT_VDD_GRID,
+)
+from repro.sram.importance_sampling import ImportanceSampler, ImportanceSamplingResult
+
+# NOTE: repro.sram.yield_model is intentionally NOT imported here — it
+# depends on repro.mem (which itself builds on this package), so pulling
+# it into the package namespace would create an import cycle.  Import it
+# directly: ``from repro.sram.yield_model import memory_yield_report``.
+
+__all__ = [
+    "CellSizing",
+    "default_6t_sizing",
+    "default_8t_sizing",
+    "BitcellBase",
+    "SixTCell",
+    "EightTCell",
+    "make_cell",
+    "butterfly_curves",
+    "hold_snm",
+    "read_snm",
+    "largest_square_snm",
+    "write_margin",
+    "write_node_voltage",
+    "BitlineModel",
+    "read_current",
+    "read_delay",
+    "FailureType",
+    "FailureMargins",
+    "FailureRates",
+    "MonteCarloAnalyzer",
+    "failure_rates_vs_vdd",
+    "CellPower",
+    "cell_power",
+    "bitcell_area",
+    "area_overhead_8t_vs_6t",
+    "SubArray",
+    "CellCharacterization",
+    "CharacterizationPoint",
+    "characterize_cell",
+    "DEFAULT_VDD_GRID",
+    "ImportanceSampler",
+    "ImportanceSamplingResult",
+]

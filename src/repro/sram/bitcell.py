@@ -1,0 +1,309 @@
+"""6T and 8T SRAM bitcell topologies (paper Fig. 4).
+
+Both cells are modelled as their static device network; all stability
+quantities reduce to current balance at the two storage nodes and are
+solved with the vectorized bisection in :mod:`repro.devices.inverter`.
+
+Conventions
+-----------
+* The analysed storage state is ``Q = 1`` on the **left** node (``VL``)
+  and ``QB = 0`` on the **right** node (``VR``).  Gaussian ΔVT sampling
+  is symmetric under the left/right device permutation, so single-state
+  analysis gives the state-averaged failure probability.
+* ΔVT samples are matrices with one column per device, in the order of
+  :attr:`BitcellBase.device_names`:
+
+  ====== =================================== =======
+  column device                              cells
+  ====== =================================== =======
+  0      PU_L (left pull-up, PMOS)           6T, 8T
+  1      PD_L (left pull-down, NMOS)         6T, 8T
+  2      PG_L (left access, NMOS)            6T, 8T
+  3      PU_R (right pull-up, PMOS)          6T, 8T
+  4      PD_R (right pull-down, NMOS)        6T, 8T
+  5      PG_R (right access, NMOS)           6T, 8T
+  6      RPG (read access, NMOS)             8T
+  7      RPD (read pull-down, NMOS)          8T
+  ====== =================================== =======
+
+* Bitlines are precharged to VDD for reads; a write drives one bitline
+  to 0 V with the wordline at VDD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.devices.inverter import Inverter, solve_node_voltage
+from repro.devices.mosfet import Mosfet, nmos, pmos
+from repro.devices.technology import Technology
+from repro.devices.variation import VariationModel
+from repro.errors import ConfigurationError
+from repro.sram.sizing import CellSizing, default_6t_sizing, default_8t_sizing
+
+ArrayLike = Union[float, np.ndarray]
+
+# ΔVT column indices, shared by the failure criteria.
+PU_L, PD_L, PG_L, PU_R, PD_R, PG_R, RPG, RPD = range(8)
+
+
+def _col(dvt: ArrayLike, index: int) -> np.ndarray:
+    """Select one device's ΔVT column from a sample matrix.
+
+    Accepts scalar 0.0 (no variation), a 1-D vector of per-device shifts,
+    or an ``(n_samples, n_devices)`` matrix.
+    """
+    arr = np.asarray(dvt, dtype=float)
+    if arr.ndim == 0:
+        return arr
+    return arr[..., index]
+
+
+@dataclass(frozen=True)
+class BitcellBase:
+    """Shared structure of the 6T and 8T cells."""
+
+    technology: Technology
+    sizing: CellSizing
+    kind: str = field(init=False, default="")
+
+    def __post_init__(self) -> None:
+        if self.sizing.length is not None and self.sizing.length < self.technology.l_min:
+            raise ConfigurationError("cell channel length below technology minimum")
+
+    # ------------------------------------------------------------------
+    # Device construction
+    # ------------------------------------------------------------------
+    def _length(self) -> float:
+        return self.sizing.length or self.technology.l_min
+
+    @property
+    def pull_up_left(self) -> Mosfet:
+        return pmos(self.technology, self.sizing.pull_up, self._length(), name="PU_L")
+
+    @property
+    def pull_down_left(self) -> Mosfet:
+        return nmos(self.technology, self.sizing.pull_down, self._length(), name="PD_L")
+
+    @property
+    def pass_gate_left(self) -> Mosfet:
+        return nmos(self.technology, self.sizing.pass_gate, self._length(), name="PG_L")
+
+    @property
+    def pull_up_right(self) -> Mosfet:
+        return pmos(self.technology, self.sizing.pull_up, self._length(), name="PU_R")
+
+    @property
+    def pull_down_right(self) -> Mosfet:
+        return nmos(self.technology, self.sizing.pull_down, self._length(), name="PD_R")
+
+    @property
+    def pass_gate_right(self) -> Mosfet:
+        return nmos(self.technology, self.sizing.pass_gate, self._length(), name="PG_R")
+
+    @property
+    def devices(self) -> Tuple[Mosfet, ...]:
+        return (
+            self.pull_up_left,
+            self.pull_down_left,
+            self.pass_gate_left,
+            self.pull_up_right,
+            self.pull_down_right,
+            self.pass_gate_right,
+        )
+
+    @property
+    def device_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.devices)
+
+    def variation_model(self) -> VariationModel:
+        """Pelgrom ΔVT sampler over this cell's devices (column order above)."""
+        return VariationModel(self.technology, self.devices)
+
+    @property
+    def inverter_left(self) -> Inverter:
+        """Inverter driving the left node (input = right node)."""
+        return Inverter(pull_up=self.pull_up_left, pull_down=self.pull_down_left)
+
+    @property
+    def inverter_right(self) -> Inverter:
+        """Inverter driving the right node (input = left node)."""
+        return Inverter(pull_up=self.pull_up_right, pull_down=self.pull_down_right)
+
+    # ------------------------------------------------------------------
+    # Static half-cell node solutions
+    # ------------------------------------------------------------------
+    def half_cell_vout(
+        self,
+        vin: ArrayLike,
+        vdd: float,
+        side: str = "right",
+        read_mode: bool = False,
+        dvt: ArrayLike = 0.0,
+    ) -> np.ndarray:
+        """Static voltage of one storage node given the opposite node.
+
+        This is the half-cell voltage-transfer curve used by the butterfly
+        (SNM) analysis.  With ``read_mode=True`` the access transistor is
+        on with its bitline held at VDD, which degrades the logic-low
+        level — the mechanism behind read-disturb failures.
+        """
+        if side == "right":
+            inv = self.inverter_right
+            iu, idn, ig = PU_R, PD_R, PG_R
+            pg = self.pass_gate_right
+        elif side == "left":
+            inv = self.inverter_left
+            iu, idn, ig = PU_L, PD_L, PG_L
+            pg = self.pass_gate_left
+        else:
+            raise ConfigurationError(f"side must be 'left' or 'right', got {side!r}")
+
+        dvt_u = _col(dvt, iu)
+        dvt_d = _col(dvt, idn)
+        dvt_g = _col(dvt, ig)
+        vin_b = np.asarray(vin, dtype=float)
+        shape = np.broadcast_shapes(
+            vin_b.shape, np.shape(dvt_u), np.shape(dvt_d), np.shape(dvt_g)
+        )
+
+        def node_eq(v):
+            net = inv.net_pulldown(vin_b, v, vdd, dvt_n=dvt_d, dvt_p=dvt_u)
+            if read_mode:
+                # Access device sources current from the precharged bitline
+                # into the node (gate = WL = VDD, drain = BL = VDD).
+                net = net - pg.current(vdd - v, vdd - v, dvt=dvt_g)
+            return net
+
+        return solve_node_voltage(node_eq, 0.0, vdd, shape=shape)
+
+    def read_bump_voltage(self, vdd: float, dvt: ArrayLike = 0.0) -> np.ndarray:
+        """Voltage rise of the '0' storage node during a read.
+
+        With ``Q = 1`` stored on the left, the right node (holding 0) is
+        lifted by the PG_R / PD_R voltage divider while both bitlines sit
+        at VDD.  The static equilibrium value is the classic read-disturb
+        stress voltage.
+        """
+        return self.half_cell_vout(
+            np.asarray(vdd, dtype=float), vdd, side="right", read_mode=True, dvt=dvt
+        )
+
+    def trip_voltage_left(self, vdd: float, dvt: ArrayLike = 0.0) -> np.ndarray:
+        """Switching threshold of the inverter driving the left node.
+
+        A read bump on the right node flips the cell once it crosses this
+        trip point: rising VR discharges VL, which regeneratively raises
+        VR.  Compared against :meth:`read_bump_voltage` by the Monte-Carlo
+        read-disturb criterion.
+        """
+        return self.inverter_left.switching_threshold(
+            vdd, dvt_n=_col(dvt, PD_L), dvt_p=_col(dvt, PU_L)
+        )
+
+    def trip_voltage_right(self, vdd: float, dvt: ArrayLike = 0.0) -> np.ndarray:
+        """Switching threshold of the inverter driving the right node
+        (the write-success comparison point)."""
+        return self.inverter_right.switching_threshold(
+            vdd, dvt_n=_col(dvt, PD_R), dvt_p=_col(dvt, PU_R)
+        )
+
+
+@dataclass(frozen=True)
+class SixTCell(BitcellBase):
+    """The conventional 6T bitcell of paper Fig. 4(a)."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sizing.is_8t:
+            raise ConfigurationError("SixTCell requires a 6T sizing (no read stack)")
+        object.__setattr__(self, "kind", "6t")
+
+    def read_stack_current(self, vdd: float, dvt: ArrayLike = 0.0) -> np.ndarray:
+        """Bitline discharge current at the start of a read.
+
+        Equal to the pull-down current of the '0' side evaluated at the
+        static bump voltage: at equilibrium the access and pull-down
+        devices carry the same current, and it is this current that
+        discharges the precharged bitline toward the sense margin.
+        """
+        bump = self.read_bump_voltage(vdd, dvt=dvt)
+        return self.pull_down_right.current(vdd, bump, dvt=_col(dvt, PD_R))
+
+    @property
+    def has_read_disturb(self) -> bool:
+        """6T reads stress the storage nodes, so disturb failures exist."""
+        return True
+
+
+@dataclass(frozen=True)
+class EightTCell(BitcellBase):
+    """The read-decoupled 8T bitcell of paper Fig. 4(b).
+
+    Writes use the same differential port as the 6T cell; reads go
+    through a separate two-transistor stack (RPG from the read bitline,
+    RPD gated by the storage node), so a read never disturbs the cell
+    and the storage inverters can be write-optimized.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.sizing.is_8t:
+            raise ConfigurationError("EightTCell requires an 8T sizing (read stack set)")
+        object.__setattr__(self, "kind", "8t")
+
+    @property
+    def read_pass(self) -> Mosfet:
+        return nmos(self.technology, self.sizing.read_pass, self._length(), name="RPG")
+
+    @property
+    def read_down(self) -> Mosfet:
+        return nmos(self.technology, self.sizing.read_down, self._length(), name="RPD")
+
+    @property
+    def devices(self) -> Tuple[Mosfet, ...]:
+        return super().devices + (self.read_pass, self.read_down)
+
+    def read_stack_current(self, vdd: float, dvt: ArrayLike = 0.0) -> np.ndarray:
+        """Read-bitline discharge current through the RPG/RPD stack.
+
+        The stack's internal node settles where the two series devices
+        carry equal current; the balanced current is returned.  The
+        storage nodes are untouched (``has_read_disturb`` is False).
+        """
+        rpg = self.read_pass
+        rpd = self.read_down
+        dvt_g = _col(dvt, RPG)
+        dvt_d = _col(dvt, RPD)
+        shape = np.broadcast_shapes(np.shape(dvt_g), np.shape(dvt_d))
+
+        def node_eq(vx):
+            # Internal node X between RPD (below) and RPG (above, to RBL=VDD).
+            i_down = rpd.current(vdd, vx, dvt=dvt_d)
+            i_up = rpg.current(vdd - vx, vdd - vx, dvt=dvt_g)
+            return i_down - i_up
+
+        vx = solve_node_voltage(node_eq, 0.0, vdd, shape=shape)
+        return rpd.current(vdd, vx, dvt=dvt_d)
+
+    @property
+    def has_read_disturb(self) -> bool:
+        """Decoupled read port: disturb-free by construction (paper ref [21])."""
+        return False
+
+
+def make_cell(
+    kind: str,
+    technology: Technology,
+    sizing: Optional[CellSizing] = None,
+) -> BitcellBase:
+    """Factory: build a ``"6t"`` or ``"8t"`` cell with default sizing."""
+    kind = kind.lower()
+    if kind == "6t":
+        return SixTCell(technology, sizing or default_6t_sizing(technology))
+    if kind == "8t":
+        return EightTCell(technology, sizing or default_8t_sizing(technology))
+    raise ConfigurationError(f"unknown cell kind {kind!r}; expected '6t' or '8t'")

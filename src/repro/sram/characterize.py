@@ -1,0 +1,215 @@
+"""Cached voltage-sweep characterization of a bitcell.
+
+The circuit-to-system pipeline repeatedly needs, for each cell type and
+each candidate supply voltage: failure probabilities (read access,
+write, read disturb), access energies/powers, leakage and cycle time.
+:func:`characterize_cell` runs the Monte-Carlo + power models across a
+voltage grid once and caches the resulting table as JSON under
+``.repro_cache/`` (keyed by every parameter that affects the numbers),
+so system-level experiments start instantly after the first run.
+
+The cached table interpolates between grid points: probabilities in
+log-space (they span decades), energies/powers in linear space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import DEFAULT_SEED
+from repro.sram.area import bitcell_area
+from repro.sram.bitcell import BitcellBase, make_cell
+from repro.sram.montecarlo import MonteCarloAnalyzer
+from repro.sram.power import cell_power
+from repro.sram.read_path import BitlineModel, nominal_read_cycle
+from repro.devices.technology import Technology, ptm22
+
+#: The paper's voltage range (0.65-0.95 V) plus one margin point below.
+DEFAULT_VDD_GRID = (0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95)
+
+#: Probability floor for log-space interpolation of zero estimates.
+_P_FLOOR = 1e-15
+
+
+@dataclass(frozen=True)
+class CharacterizationPoint:
+    """All per-cell figures at one supply voltage."""
+
+    vdd: float
+    p_read_access: float
+    p_write: float
+    p_read_disturb: float
+    p_cell: float
+    read_energy: float
+    write_energy: float
+    read_power: float
+    write_power: float
+    leakage_power: float
+    cycle_time: float
+
+
+@dataclass(frozen=True)
+class CellCharacterization:
+    """A voltage-indexed characterization table for one cell type."""
+
+    cell_kind: str
+    technology: str
+    rows: int
+    n_samples: int
+    seed: int
+    area: float
+    points: tuple
+
+    @property
+    def vdd_grid(self) -> np.ndarray:
+        return np.array([p.vdd for p in self.points])
+
+    def _interp(self, vdd: float, attr: str, log_space: bool) -> float:
+        grid = self.vdd_grid
+        if not (grid[0] - 1e-9 <= vdd <= grid[-1] + 1e-9):
+            raise ConfigurationError(
+                f"vdd={vdd} outside characterized range "
+                f"[{grid[0]}, {grid[-1]}] for {self.cell_kind}"
+            )
+        values = np.array([getattr(p, attr) for p in self.points], dtype=float)
+        if log_space:
+            logv = np.log(np.maximum(values, _P_FLOOR))
+            out = float(np.exp(np.interp(vdd, grid, logv)))
+            return 0.0 if out <= _P_FLOOR * 10 else out
+        return float(np.interp(vdd, grid, values))
+
+    def point_at(self, vdd: float) -> CharacterizationPoint:
+        """Interpolated characterization at an arbitrary in-range voltage."""
+        return CharacterizationPoint(
+            vdd=float(vdd),
+            p_read_access=self._interp(vdd, "p_read_access", log_space=True),
+            p_write=self._interp(vdd, "p_write", log_space=True),
+            p_read_disturb=self._interp(vdd, "p_read_disturb", log_space=True),
+            p_cell=self._interp(vdd, "p_cell", log_space=True),
+            read_energy=self._interp(vdd, "read_energy", log_space=False),
+            write_energy=self._interp(vdd, "write_energy", log_space=False),
+            read_power=self._interp(vdd, "read_power", log_space=False),
+            write_power=self._interp(vdd, "write_power", log_space=False),
+            leakage_power=self._interp(vdd, "leakage_power", log_space=False),
+            cycle_time=self._interp(vdd, "cycle_time", log_space=False),
+        )
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["points"] = [asdict(p) for p in self.points]
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CellCharacterization":
+        payload = json.loads(text)
+        points = tuple(CharacterizationPoint(**p) for p in payload.pop("points"))
+        return cls(points=points, **payload)
+
+
+def default_cache_dir() -> str:
+    """Cache directory (override with the ``REPRO_CACHE_DIR`` env var)."""
+    return os.environ.get("REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache"))
+
+
+def _cache_key(
+    cell: BitcellBase, rows: int, n_samples: int, seed: int,
+    vdd_grid: Sequence[float], read_cycle: Optional[float]
+) -> str:
+    blob = json.dumps(
+        {
+            "tech": cell.technology.name,
+            "kind": cell.kind,
+            "sizing": asdict(cell.sizing),
+            "sigma_vt0": cell.technology.sigma_vt0,
+            "rows": rows,
+            "n_samples": n_samples,
+            "seed": seed,
+            "vdds": list(map(float, vdd_grid)),
+            "read_cycle": read_cycle,
+            "rev": 3,  # bump to invalidate caches after model changes
+        },
+        sort_keys=True,
+    )
+    return hashlib.md5(blob.encode()).hexdigest()[:16]
+
+
+def characterize_cell(
+    cell_kind: str = "6t",
+    technology: Technology = None,
+    vdd_grid: Sequence[float] = DEFAULT_VDD_GRID,
+    rows: int = 256,
+    n_samples: int = 20000,
+    seed: int = DEFAULT_SEED,
+    read_cycle: Optional[float] = None,
+    cell: Optional[BitcellBase] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> CellCharacterization:
+    """Characterize a cell over a voltage grid (cached).
+
+    Parameters mirror :class:`~repro.sram.montecarlo.MonteCarloAnalyzer`;
+    pass ``cell`` to characterize a custom-sized cell, otherwise the
+    default-sized cell of ``cell_kind`` is used.  ``read_cycle`` lets the
+    hybrid architecture impose the 6T timing budget on the 8T cell.
+    """
+    tech = technology or ptm22()
+    the_cell = cell if cell is not None else make_cell(cell_kind, tech)
+    if sorted(vdd_grid) != list(vdd_grid):
+        raise ConfigurationError("vdd_grid must be sorted ascending")
+
+    key = _cache_key(the_cell, rows, n_samples, seed, vdd_grid, read_cycle)
+    cache_path = os.path.join(cache_dir or default_cache_dir(), f"cell_{key}.json")
+    if use_cache and os.path.exists(cache_path):
+        with open(cache_path) as fh:
+            return CellCharacterization.from_json(fh.read())
+
+    bitline = BitlineModel(tech, rows=rows).for_cell(the_cell)
+    budget = read_cycle if read_cycle is not None else nominal_read_cycle(
+        the_cell, bitline=bitline
+    )
+    analyzer = MonteCarloAnalyzer(
+        cell=the_cell, n_samples=n_samples, bitline=bitline,
+        seed=seed, read_cycle=budget,
+    )
+
+    points: List[CharacterizationPoint] = []
+    for vdd in vdd_grid:
+        rates = analyzer.analyze(vdd)
+        power = cell_power(the_cell, vdd, rows=rows, cols=rows)
+        points.append(
+            CharacterizationPoint(
+                vdd=float(vdd),
+                p_read_access=rates.p_read_access,
+                p_write=rates.p_write,
+                p_read_disturb=rates.p_read_disturb,
+                p_cell=rates.p_cell,
+                read_energy=power.read_energy,
+                write_energy=power.write_energy,
+                read_power=power.read_power,
+                write_power=power.write_power,
+                leakage_power=power.leakage_power,
+                cycle_time=power.cycle_time,
+            )
+        )
+
+    table = CellCharacterization(
+        cell_kind=the_cell.kind,
+        technology=tech.name,
+        rows=rows,
+        n_samples=n_samples,
+        seed=int(seed),
+        area=bitcell_area(the_cell),
+        points=tuple(points),
+    )
+    if use_cache:
+        os.makedirs(os.path.dirname(cache_path), exist_ok=True)
+        with open(cache_path, "w") as fh:
+            fh.write(table.to_json())
+    return table

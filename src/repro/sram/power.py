@@ -1,0 +1,212 @@
+"""Bitcell access-energy, access-power and leakage models (paper Fig. 6).
+
+The dynamic components are computed from the array parasitics:
+
+* **read**: the selected cell discharges its bitline by the sense margin
+  (restored by the precharge), plus its share of the wordline swing and
+  the row periphery:
+  ``E_read = C_bl * VDD * V_sense + C_wl_cell * VDD^2 + C_periph_cell * VDD^2``.
+* **write**: the write driver swings a local bitline segment full rail
+  (hierarchical/divided-bitline write, ``Technology.write_segment_rows``)
+  plus the wordline share:
+  ``E_write = C_bl_segment * VDD^2 + C_wl_cell * VDD^2``.
+
+Access *power* divides the access energy by the voltage-dependent cycle
+time: the paper scales the system clock together with the supply, so the
+cycle is the guard-banded nominal-ΔVT read delay *at the operating
+voltage*.
+
+Leakage is mechanistic: the subthreshold currents of every off device in
+the cell, averaged over the two storage states.  The extra read stack
+makes the 8T cell leak ~47% more than 6T at iso-voltage — this falls out
+of the device model rather than being asserted.
+
+The 8T wordline wire loads are scaled by the layout width ratio of the
+8T cell (the hybrid row shares the 6T cell height, so extra transistors
+grow the cell along the row — paper ref [13]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.devices.inverter import solve_node_voltage
+from repro.sram.area import layout_width_ratio
+from repro.sram.bitcell import BitcellBase, EightTCell, SixTCell
+from repro.sram.read_path import DEFAULT_ROWS, BitlineModel, read_delay
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class CellPower:
+    """Per-cell energy/power figures at one operating voltage.
+
+    Energies are per access (joules); powers are energies divided by the
+    voltage-scaled cycle time, plus the static leakage (watts).
+    """
+
+    vdd: float
+    read_energy: float
+    write_energy: float
+    leakage_power: float
+    cycle_time: float
+
+    @property
+    def read_power(self) -> float:
+        """Dynamic read power at the voltage-scaled access rate."""
+        return self.read_energy / self.cycle_time
+
+    @property
+    def write_power(self) -> float:
+        """Dynamic write power at the voltage-scaled access rate."""
+        return self.write_energy / self.cycle_time
+
+    @property
+    def access_power(self) -> float:
+        """Read-dominated access power figure used by the memory-level
+        accounting (synaptic traffic at inference is read traffic)."""
+        return self.read_power
+
+
+def _wordline_cap_per_cell(cell: BitcellBase, port: str) -> float:
+    """Wordline capacitance one cell adds to the asserted wordline.
+
+    ``port`` selects the write wordline (two access gates) or the 8T read
+    wordline (single read-access gate).  Wire length per cell scales with
+    the cell's layout width.
+    """
+    tech = cell.technology
+    wire = tech.wordline_wire_cap_per_cell * layout_width_ratio(cell)
+    if port == "write":
+        return wire + 2.0 * tech.gate_cap_per_width * cell.sizing.pass_gate
+    if port == "read":
+        if not cell.sizing.is_8t:
+            return wire + 2.0 * tech.gate_cap_per_width * cell.sizing.pass_gate
+        return wire + tech.gate_cap_per_width * cell.sizing.read_pass
+    raise ValueError(f"port must be 'read' or 'write', got {port!r}")
+
+
+def _periphery_cap_per_cell(cell: BitcellBase, cols: int) -> float:
+    """Per-cell share of the row decoder / driver capacitance."""
+    return cell.technology.periphery_cap / cols
+
+
+def read_energy(cell: BitcellBase, vdd: float, rows: int = DEFAULT_ROWS,
+                cols: int = DEFAULT_ROWS) -> float:
+    """Energy one cell draws from the supply per read access (joules)."""
+    tech = cell.technology
+    c_bl = BitlineModel(tech, rows=rows).for_cell(cell).capacitance
+    e_bitline = c_bl * vdd * tech.sense_margin
+    e_wordline = _wordline_cap_per_cell(cell, "read") * vdd**2
+    e_periph = _periphery_cap_per_cell(cell, cols) * vdd**2
+    return e_bitline + e_wordline + e_periph
+
+
+def write_energy(cell: BitcellBase, vdd: float, rows: int = DEFAULT_ROWS,
+                 cols: int = DEFAULT_ROWS) -> float:
+    """Energy one cell draws from the supply per write access (joules).
+
+    The write driver swings one bitline of a local segment rail-to-rail
+    (divided-bitline write architecture).  8T cells carry the
+    technology's layout-extraction overhead factor on top of the
+    parasitic terms (see ``Technology.write_energy_overhead_8t``).
+    """
+    tech = cell.technology
+    segment_rows = min(tech.write_segment_rows, rows)
+    sizing = cell.sizing
+    c_bl = BitlineModel(tech, rows=segment_rows,
+                        port_width=sizing.pass_gate).capacitance
+    e_bitline = c_bl * vdd**2
+    e_wordline = _wordline_cap_per_cell(cell, "write") * vdd**2
+    e_periph = _periphery_cap_per_cell(cell, cols) * vdd**2
+    total = e_bitline + e_wordline + e_periph
+    if sizing.is_8t:
+        total *= tech.write_energy_overhead_8t
+    return total
+
+
+def _series_off_stack_current(cell: EightTCell, vdd: float) -> float:
+    """Leakage of the 8T read stack when both stack devices are off.
+
+    Solves the internal node where the two subthreshold currents balance
+    (the stacked-device leakage reduction).
+    """
+    rpg = cell.read_pass
+    rpd = cell.read_down
+
+    def node_eq(vx):
+        i_down = rpd.current(0.0, vx)           # gate low (storage node 0)
+        i_up = rpg.current(0.0 - vx, vdd - vx)  # gate at 0 (RWL off), source at X
+        return i_down - i_up
+
+    vx = solve_node_voltage(node_eq, 0.0, vdd, shape=())
+    return float(rpd.current(0.0, vx))
+
+
+def leakage_current(cell: BitcellBase, vdd: float) -> float:
+    """Static supply current of an idle cell (amperes), state-averaged.
+
+    In either storage state a 6T cell leaks through one off pull-up, one
+    off pull-down and the access device on the '0' side (bitlines are
+    held precharged at VDD).  The 8T cell adds its read stack: full RPG
+    off-current when the buffer gate is high, a stack-suppressed current
+    when it is low — averaged over the two states.
+    """
+    i_pu = float(cell.pull_up_left.off_current(vdd))
+    i_pd = float(cell.pull_down_left.off_current(vdd))
+    i_pg = float(cell.pass_gate_left.off_current(vdd))
+    total = i_pu + i_pd + i_pg
+
+    if isinstance(cell, EightTCell):
+        # State QB=1: RPD on, stack leak limited by RPG (RWL low).
+        i_stack_on = float(cell.read_pass.off_current(vdd))
+        # State QB=0: both stack devices off.
+        i_stack_off = _series_off_stack_current(cell, vdd)
+        total += 0.5 * (i_stack_on + i_stack_off)
+    return total
+
+
+def leakage_power(cell: BitcellBase, vdd: float) -> float:
+    """Static power of an idle cell (watts)."""
+    return vdd * leakage_current(cell, vdd)
+
+
+def cycle_time(cell: BitcellBase, vdd: float, rows: int = DEFAULT_ROWS) -> float:
+    """Array cycle time at the operating voltage.
+
+    The system is clocked to the guard-banded nominal-ΔVT read delay at
+    the *operating* voltage (voltage and frequency scale together, as in
+    the paper's Sec. I/III discussion of the digital logic).
+    """
+    tech = cell.technology
+    bl = BitlineModel(tech, rows=rows)
+    delay = float(read_delay(cell, vdd, dvt=0.0, bitline=bl))
+    return tech.timing_guard * delay
+
+
+def cell_power(cell: BitcellBase, vdd: float, rows: int = DEFAULT_ROWS,
+               cols: int = DEFAULT_ROWS,
+               cycle_time_override: float = None) -> CellPower:
+    """Full per-cell power characterization at one voltage (Fig. 6 data).
+
+    ``cycle_time_override`` imposes a shared array clock: in a hybrid
+    8T-6T array both cell types are accessed on the 6T-compatible cycle,
+    so iso-voltage power comparisons (and the memory-level accounting)
+    pass the 6T cycle here.  Left at ``None``, the cell's own
+    voltage-scaled cycle is used.
+    """
+    if not isinstance(cell, (SixTCell, EightTCell)):
+        raise TypeError(f"cell_power needs a concrete bitcell, got {type(cell)!r}")
+    cycle = (cycle_time_override if cycle_time_override is not None
+             else cycle_time(cell, vdd, rows=rows))
+    return CellPower(
+        vdd=float(vdd),
+        read_energy=read_energy(cell, vdd, rows=rows, cols=cols),
+        write_energy=write_energy(cell, vdd, rows=rows, cols=cols),
+        leakage_power=leakage_power(cell, vdd),
+        cycle_time=cycle,
+    )

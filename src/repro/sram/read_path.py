@@ -1,0 +1,114 @@
+"""Read-access path: bitline model and discharge-delay analysis.
+
+Paper Sec. IV sizes both cells "for equal read access and write times,
+which were determined by considering the delay incurred in
+charging/discharging the bitline capacitance associated with a 256x256
+SRAM sub-array".  We model exactly that:
+
+* the bitline capacitance is the per-cell drain/wire contribution times
+  the number of rows sharing the line;
+* the read delay is the time for the selected cell's read current to pull
+  the precharged bitline down by the sense-amplifier margin;
+* a **read-access failure** occurs when that delay exceeds the read
+  cycle's allotted time ``T_read`` (set at nominal voltage with the
+  technology's timing guard band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+from repro.sram.bitcell import BitcellBase
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Sub-array depth used throughout the paper.
+DEFAULT_ROWS = 256
+
+
+@dataclass(frozen=True)
+class BitlineModel:
+    """Capacitive load of one bitline in a sub-array column.
+
+    The load is wire capacitance (one cell pitch of column wire per row,
+    topology-independent) plus the drain-junction contribution of every
+    port device hanging on the line (scales with the port width).  For
+    256 rows of the ptm22 technology with a 44 nm port this is ~62 fF —
+    a realistic 22 nm column.
+
+    ``port_width`` defaults to the 6T access-device width; pass the
+    read-stack width for an 8T read bitline.
+    """
+
+    technology: Technology
+    rows: int = DEFAULT_ROWS
+    port_width: float = None
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0:
+            raise ConfigurationError(f"rows must be positive, got {self.rows}")
+        if self.port_width is not None and self.port_width <= 0:
+            raise ConfigurationError("port_width must be positive")
+
+    @property
+    def capacitance(self) -> float:
+        """Total bitline capacitance (farads)."""
+        tech = self.technology
+        width = self.port_width if self.port_width is not None else tech.w_min
+        per_cell = tech.bitline_wire_cap_per_cell + tech.junction_cap_per_width * width
+        return self.rows * per_cell
+
+    def for_cell(self, cell) -> "BitlineModel":
+        """The same column depth with the port width of ``cell``'s read port."""
+        sizing = cell.sizing
+        width = sizing.read_pass if sizing.is_8t else sizing.pass_gate
+        return BitlineModel(self.technology, rows=self.rows, port_width=width)
+
+
+def read_current(cell: BitcellBase, vdd: float, dvt: ArrayLike = 0.0) -> np.ndarray:
+    """Cell current available to discharge the bitline (amperes).
+
+    Dispatches to the topology-specific stack solver: the PG/PD divider
+    for 6T, the decoupled RPG/RPD stack for 8T.
+    """
+    return cell.read_stack_current(vdd, dvt=dvt)
+
+
+def read_delay(
+    cell: BitcellBase,
+    vdd: float,
+    dvt: ArrayLike = 0.0,
+    bitline: BitlineModel = None,
+) -> np.ndarray:
+    """Time to develop the sense margin on the bitline (seconds).
+
+    ``delay = C_bitline * V_sense / I_read``.  Vanishing read current
+    (deeply sub-threshold corners) yields ``inf``, which the failure
+    criteria treat as an unconditional read-access failure.
+    """
+    bl = (bitline or BitlineModel(cell.technology)).for_cell(cell)
+    current = np.asarray(read_current(cell, vdd, dvt=dvt), dtype=float)
+    charge = bl.capacitance * cell.technology.sense_margin
+    with np.errstate(divide="ignore"):
+        return np.where(current > 0.0, charge / np.maximum(current, 1e-30), np.inf)
+
+
+def nominal_read_cycle(
+    cell: BitcellBase, bitline: BitlineModel = None, vdd: float = None
+) -> float:
+    """The read-cycle budget ``T_read`` for failure analysis.
+
+    Defined at the technology's nominal voltage with zero ΔVT, multiplied
+    by the timing guard band: the array is clocked with this fixed margin
+    and *then* voltage-scaled, which is what makes the slow tail of the
+    ΔVT distribution miss the cycle at low VDD.
+    """
+    tech = cell.technology
+    v = tech.vdd_nominal if vdd is None else vdd
+    delay = float(read_delay(cell, v, dvt=0.0, bitline=bitline))
+    return tech.timing_guard * delay

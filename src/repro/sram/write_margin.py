@@ -1,0 +1,135 @@
+"""Write margin and the static write-failure node analysis.
+
+Write operation under analysis (matching the stored state convention of
+:mod:`repro.sram.bitcell`): the cell holds ``Q = 1`` on the left node and
+the write drives a 0 — left bitline at 0 V, right bitline at VDD, word
+line asserted.
+
+Static criterion (Mukhopadhyay et al., TCAD 2005 — the paper's ref [10]):
+with the wordline on, the left node settles where the conducting pull-up
+PU_L (gate at ``QB ~ 0``) balances the access device PG_L discharging
+into the grounded bitline.  The write succeeds iff this settled voltage
+falls *below* the switching threshold of the opposing inverter, which
+then regeneratively completes the flip.
+
+The *write margin* reported for cell characterization uses the wordline
+underdrive definition: sweep the wordline voltage upward from 0 with the
+bitline grounded and find the lowest wordline voltage ``V_WL*`` at which
+the flip criterion is met;  ``WM = VDD - V_WL*``.  An easily writable
+cell flips with a barely-driven wordline and therefore has a large
+margin.  The paper's 6T cell anchor is WM ~ 250 mV at 0.95 V.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sram.bitcell import PG_L, PU_L, BitcellBase, _col
+from repro.devices.inverter import solve_node_voltage
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Wordline bisection resolution (volts).
+_WL_TOL = 1e-4
+
+
+def write_node_voltage(
+    cell: BitcellBase,
+    vdd: float,
+    dvt: ArrayLike = 0.0,
+    v_wordline: Union[float, np.ndarray, None] = None,
+) -> np.ndarray:
+    """Static voltage of the written ('1' -> '0') node during a write.
+
+    Solves the PU_L (pulling up) versus PG_L (pulling down into the
+    grounded bitline) balance on the left node.  ``v_wordline`` defaults
+    to VDD (a full-swing write) and may be an array for wordline sweeps.
+    """
+    pu = cell.pull_up_left
+    pg = cell.pass_gate_left
+    dvt_u = _col(dvt, PU_L)
+    dvt_g = _col(dvt, PG_L)
+    vwl = np.asarray(vdd if v_wordline is None else v_wordline, dtype=float)
+    shape = np.broadcast_shapes(np.shape(dvt_u), np.shape(dvt_g), vwl.shape)
+
+    def node_eq(v):
+        # PG_L: NMOS, gate at V_WL, source at the grounded bitline,
+        # drain at the node -> Vgs = V_WL, Vds = v.  Pulls the node down.
+        i_down = pg.current(vwl, v, dvt=dvt_g)
+        # PU_L: PMOS, gate at QB ~ 0 (fully on), source at VDD.
+        i_up = pu.current(vdd, vdd - v, dvt=dvt_u)
+        return i_down - i_up
+
+    return solve_node_voltage(node_eq, 0.0, vdd, shape=shape)
+
+
+def write_succeeds(
+    cell: BitcellBase,
+    vdd: float,
+    dvt: ArrayLike = 0.0,
+    v_wordline: Union[float, None] = None,
+) -> np.ndarray:
+    """Boolean (vectorized) static write-success indicator.
+
+    Success iff the written node settles below the opposing inverter's
+    switching threshold (see module docstring).
+    """
+    node = write_node_voltage(cell, vdd, dvt=dvt, v_wordline=v_wordline)
+    trip = cell.trip_voltage_right(vdd, dvt=dvt)
+    return np.asarray(node < trip)
+
+
+def write_margin(
+    cell: BitcellBase,
+    vdd: float,
+    dvt: ArrayLike = 0.0,
+    n_iterations: int = 32,
+) -> np.ndarray:
+    """Wordline-underdrive write margin ``WM = VDD - V_WL*`` (vectorized).
+
+    ``V_WL*`` is found by bisection on the wordline voltage: the flip
+    criterion ``write_node_voltage < trip_right`` is monotone in the
+    wordline drive (a stronger wordline can only pull the node lower).
+    Returns 0 where the cell cannot be written even at full drive —
+    i.e. the sample is a write failure.
+    """
+    dvt_arr = np.asarray(dvt, dtype=float)
+    shape = dvt_arr.shape[:-1] if dvt_arr.ndim > 0 else ()
+
+    trip = np.broadcast_to(np.asarray(cell.trip_voltage_right(vdd, dvt=dvt)), shape).copy()
+
+    full = write_node_voltage(cell, vdd, dvt=dvt, v_wordline=vdd)
+    full = np.broadcast_to(np.asarray(full), shape)
+    never_flips = full >= trip
+
+    lo = np.zeros(shape)
+    hi = np.full(shape, float(vdd))
+    for _ in range(n_iterations):
+        mid = 0.5 * (lo + hi)
+        node = write_node_voltage(cell, vdd, dvt=dvt, v_wordline=mid)
+        node = np.broadcast_to(np.asarray(node), shape)
+        flips = node < trip
+        hi = np.where(flips, mid, hi)
+        lo = np.where(flips, lo, mid)
+        if np.max(hi - lo) < _WL_TOL:
+            break
+
+    v_wl_crit = 0.5 * (lo + hi)
+    margin = np.where(never_flips, 0.0, vdd - v_wl_crit)
+    if shape == ():
+        return float(margin)
+    return margin
+
+
+def check_write_analysis_state(cell: BitcellBase) -> None:
+    """Sanity guard used by tests: the nominal cell must be writable at
+    full wordline drive, otherwise the sizing is broken."""
+    ok = write_succeeds(cell, cell.technology.vdd_nominal)
+    if not bool(np.all(ok)):
+        raise SimulationError(
+            f"{cell.kind} cell is not writable at nominal conditions; "
+            "check the sizing (gamma ratio too low?)"
+        )

@@ -1,0 +1,125 @@
+"""Array- and die-level yield statements from cell failure rates.
+
+The Monte-Carlo analysis produces *per-cell* failure probabilities; a
+memory designer ultimately asks die-level questions: how many faulty
+cells does a 256x256 sub-array carry, what fraction of dies meet an
+accuracy-critical criterion (e.g. "no failing MSB cells"), and how much
+does MSB protection move that yield.  The binomial arithmetic is simple
+but easy to get numerically wrong at the scales involved (millions of
+cells, probabilities spanning 40 decades), so it lives here with a
+log-domain implementation and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.mem.architecture import SynapticMemoryArchitecture
+
+
+def expected_faulty_cells(p_cell: float, n_cells: int) -> float:
+    """Mean number of failing cells among ``n_cells``."""
+    if not 0.0 <= p_cell <= 1.0:
+        raise ConfigurationError(f"p_cell must lie in [0, 1], got {p_cell}")
+    if n_cells < 0:
+        raise ConfigurationError(f"n_cells must be >= 0, got {n_cells}")
+    return p_cell * n_cells
+
+
+def prob_all_good(p_cell: float, n_cells: int) -> float:
+    """P(zero failing cells), computed in the log domain.
+
+    ``(1 - p)^n`` underflows long before it stops being meaningful;
+    ``exp(n * log1p(-p))`` does not.
+    """
+    if not 0.0 <= p_cell <= 1.0:
+        raise ConfigurationError(f"p_cell must lie in [0, 1], got {p_cell}")
+    if n_cells < 0:
+        raise ConfigurationError(f"n_cells must be >= 0, got {n_cells}")
+    if p_cell == 1.0:
+        return 0.0 if n_cells > 0 else 1.0
+    return float(np.exp(n_cells * np.log1p(-p_cell)))
+
+
+def prob_at_most_k_faulty(p_cell: float, n_cells: int, k: int) -> float:
+    """P(at most ``k`` failing cells) — binomial CDF."""
+    if k < 0:
+        return 0.0
+    return float(stats.binom.cdf(k, n_cells, p_cell))
+
+
+@dataclass(frozen=True)
+class MemoryYieldReport:
+    """Die-level fault statistics of one synaptic memory at its voltage."""
+
+    memory_name: str
+    vdd: float
+    n_msb_cells: int
+    n_lsb_cells: int
+    expected_faulty_msb_cells: float
+    expected_faulty_lsb_cells: float
+    prob_msb_clean: float
+
+    @property
+    def expected_faulty_cells(self) -> float:
+        return self.expected_faulty_msb_cells + self.expected_faulty_lsb_cells
+
+    def summary(self) -> str:
+        return (
+            f"{self.memory_name} @ {self.vdd:.2f} V: "
+            f"E[faulty MSB cells] = {self.expected_faulty_msb_cells:.3g}, "
+            f"E[faulty LSB cells] = {self.expected_faulty_lsb_cells:.3g}, "
+            f"P(all MSBs clean) = {self.prob_msb_clean:.3g}"
+        )
+
+
+def memory_yield_report(
+    memory: SynapticMemoryArchitecture,
+    msb_significant: int = 3,
+) -> MemoryYieldReport:
+    """Die-level yield figures for a synaptic memory.
+
+    ``msb_significant`` defines which top bit positions count as
+    accuracy-critical (the paper's analysis says 3-4); for each bank the
+    per-bit fault probabilities of exactly those positions feed the
+    "clean MSBs" yield term, whatever cells they are stored in.
+    """
+    if msb_significant < 0:
+        raise ConfigurationError(
+            f"msb_significant must be >= 0, got {msb_significant}"
+        )
+    exp_msb = 0.0
+    exp_lsb = 0.0
+    log_p_clean = 0.0
+    n_msb_cells = 0
+    n_lsb_cells = 0
+    for bank in memory.banks:
+        rates = bank.bit_error_rates(memory.vdd)
+        n_bits = rates.n_bits
+        top = min(msb_significant, n_bits)
+        for bit in range(n_bits):
+            p = float(rates.p_total[bit])
+            cells = bank.n_words
+            if bit >= n_bits - top:
+                n_msb_cells += cells
+                exp_msb += p * cells
+                if p >= 1.0:
+                    log_p_clean = -np.inf
+                else:
+                    log_p_clean += cells * np.log1p(-p)
+            else:
+                n_lsb_cells += cells
+                exp_lsb += p * cells
+    return MemoryYieldReport(
+        memory_name=memory.name,
+        vdd=memory.vdd,
+        n_msb_cells=n_msb_cells,
+        n_lsb_cells=n_lsb_cells,
+        expected_faulty_msb_cells=exp_msb,
+        expected_faulty_lsb_cells=exp_lsb,
+        prob_msb_clean=float(np.exp(log_p_clean)),
+    )

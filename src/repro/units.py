@@ -1,0 +1,113 @@
+"""Small unit-conversion helpers.
+
+The library works internally in SI base units (volts, amperes, watts,
+seconds, metres, farads).  These helpers exist so that constants written
+in datasheet-style units read naturally at the definition site, e.g.
+``sigma_vt0=mV(40)`` instead of ``sigma_vt0=0.040``.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Multipliers into SI base units.
+# ---------------------------------------------------------------------------
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+
+def mV(value: float) -> float:
+    """Millivolts to volts."""
+    return value * MILLI
+
+
+def uA(value: float) -> float:
+    """Microamperes to amperes."""
+    return value * MICRO
+
+
+def nA(value: float) -> float:
+    """Nanoamperes to amperes."""
+    return value * NANO
+
+
+def pA(value: float) -> float:
+    """Picoamperes to amperes."""
+    return value * PICO
+
+
+def uW(value: float) -> float:
+    """Microwatts to watts."""
+    return value * MICRO
+
+
+def nW(value: float) -> float:
+    """Nanowatts to watts."""
+    return value * NANO
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * NANO
+
+
+def ps(value: float) -> float:
+    """Picoseconds to seconds."""
+    return value * PICO
+
+
+def nm(value: float) -> float:
+    """Nanometres to metres."""
+    return value * NANO
+
+
+def um(value: float) -> float:
+    """Micrometres to metres."""
+    return value * MICRO
+
+
+def fF(value: float) -> float:
+    """Femtofarads to farads."""
+    return value * FEMTO
+
+
+def aF(value: float) -> float:
+    """Attofarads to farads."""
+    return value * ATTO
+
+
+# ---------------------------------------------------------------------------
+# Formatting helpers (SI engineering notation) used by reports and the CLI.
+# ---------------------------------------------------------------------------
+
+_SI_PREFIXES = [
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+]
+
+
+def format_si(value: float, unit: str, digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(2.1e-6, 'W')``
+    returns ``'2.10 uW'``.
+
+    Zero, NaN and infinities are formatted without a prefix.
+    """
+    if value == 0 or value != value or value in (float("inf"), float("-inf")):
+        return f"{value:g} {unit}"
+    magnitude = abs(value)
+    scale, prefix = _SI_PREFIXES[0]
+    for cand_scale, cand_prefix in _SI_PREFIXES:
+        if magnitude >= cand_scale:
+            scale, prefix = cand_scale, cand_prefix
+    return f"{value / scale:.{digits}g} {prefix}{unit}"

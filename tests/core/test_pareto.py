@@ -1,0 +1,88 @@
+"""Tests of the Pareto design-space exploration."""
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import (
+    allocation_vulnerability,
+    explore_allocations,
+    pareto_mask,
+)
+from repro.errors import ConfigurationError
+
+
+class TestParetoMask:
+    def test_simple_dominance(self):
+        costs = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+        mask = pareto_mask(costs)
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_all_nondominated_on_a_line(self):
+        costs = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        assert pareto_mask(costs).all()
+
+    def test_duplicates_survive(self):
+        costs = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert pareto_mask(costs).all()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            pareto_mask(np.array([1.0, 2.0]))
+
+
+class TestVulnerabilityProxy:
+    def test_more_protection_less_vulnerability(self, sim):
+        v_none = allocation_vulnerability(sim, 0.65, (0, 0, 0, 0, 0))
+        v_some = allocation_vulnerability(sim, 0.65, (3, 3, 3, 3, 3))
+        v_full = allocation_vulnerability(sim, 0.65, (8, 8, 8, 8, 8))
+        assert v_none > v_some > v_full
+        assert v_full < 1e-3 * v_none
+
+    def test_higher_vdd_less_vulnerability(self, sim):
+        low = allocation_vulnerability(sim, 0.65, (1, 1, 1, 1, 1))
+        high = allocation_vulnerability(sim, 0.75, (1, 1, 1, 1, 1))
+        assert high < low
+
+    def test_msb_protection_dominates_lsb_exposure(self, sim):
+        """Protecting the top bit removes most of E[dw^2]: positional
+        weights are quadratic in the proxy."""
+        v0 = allocation_vulnerability(sim, 0.65, (0, 0, 0, 0, 0))
+        v1 = allocation_vulnerability(sim, 0.65, (1, 1, 1, 1, 1))
+        assert v1 < 0.4 * v0
+
+    def test_length_checked(self, sim):
+        with pytest.raises(ConfigurationError):
+            allocation_vulnerability(sim, 0.65, (1, 2))
+
+
+class TestExplore:
+    @pytest.fixture(scope="class")
+    def frontier(self, sim):
+        return explore_allocations(sim, vdd=0.65, max_msb=3,
+                                   refine_top=6, n_trials=2, seed=77)
+
+    def test_frontier_nonempty_and_sorted(self, frontier):
+        assert len(frontier) >= 3
+        areas = [p.area_overhead_pct for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_accuracy_broadly_rises_with_area(self, frontier):
+        """Along the frontier, spending area must eventually buy
+        accuracy: the best point beats the cheapest point."""
+        cheapest = frontier[0]
+        best = max(frontier, key=lambda p: p.accuracy)
+        assert best.accuracy > cheapest.accuracy
+        assert best.area_overhead_pct > cheapest.area_overhead_pct
+
+    def test_contains_a_sub_1pct_design(self, frontier):
+        """The frontier must expose a <1%-drop design cheaper than the
+        uniform Config-1 (3,5) area point — the Fig. 9 story."""
+        good = [p for p in frontier if p.accuracy_drop < 0.01]
+        assert good
+        assert min(p.area_overhead_pct for p in good) < 13.8
+
+    def test_parameter_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            explore_allocations(sim, max_msb=99)
+        with pytest.raises(ConfigurationError):
+            explore_allocations(sim, refine_top=0)

@@ -1,0 +1,37 @@
+"""Tests of the ASCII table formatter."""
+
+import pytest
+
+from repro.core import format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_floats_formatted(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.123" in out
+        assert "0.123456" not in out
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[0.123456]], float_fmt="{:.5f}")
+        assert "0.12346" in out
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["a"], ["longer"]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_bools_not_floatified(self):
+        out = format_table(["flag"], [[True]])
+        assert "True" in out

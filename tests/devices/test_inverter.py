@@ -1,0 +1,89 @@
+"""Tests of the vectorized DC node solver and inverter VTC analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import (
+    Inverter,
+    nmos,
+    pmos,
+    ptm22,
+    solve_node_voltage,
+    switching_threshold,
+    vtc_curve,
+)
+from repro.units import nm
+
+
+@pytest.fixture(scope="module")
+def inv():
+    t = ptm22()
+    return Inverter(pull_up=pmos(t, nm(48)), pull_down=nmos(t, nm(96)))
+
+
+VDD = 0.95
+
+
+class TestSolveNodeVoltage:
+    def test_linear_function_root(self):
+        v = solve_node_voltage(lambda x: x - 0.3, 0.0, 1.0)
+        assert v == pytest.approx(0.3, abs=1e-6)
+
+    def test_vectorized_roots(self):
+        targets = np.array([0.1, 0.5, 0.9])
+
+        v = solve_node_voltage(lambda x: x - targets, 0.0, 1.0, shape=(3,))
+        np.testing.assert_allclose(v, targets, atol=1e-6)
+
+    def test_pinned_high_when_no_pulldown(self):
+        # net pulldown always negative -> node floats to the top rail.
+        v = solve_node_voltage(lambda x: np.full_like(np.asarray(x, float), -1.0),
+                               0.0, 1.0, shape=())
+        assert v == pytest.approx(1.0)
+
+    def test_pinned_low_when_pulldown_dominates(self):
+        v = solve_node_voltage(lambda x: np.full_like(np.asarray(x, float), 1.0),
+                               0.0, 1.0, shape=())
+        assert v == pytest.approx(0.0)
+
+
+class TestVtc:
+    def test_rail_to_rail(self, inv):
+        vin, vout = vtc_curve(inv, VDD, n_points=41)
+        assert vout[0] > 0.97 * VDD
+        assert vout[-1] < 0.03 * VDD
+
+    def test_monotone_decreasing(self, inv):
+        _, vout = vtc_curve(inv, VDD, n_points=81)
+        assert np.all(np.diff(vout) <= 1e-9)
+
+    def test_trip_point_consistency(self, inv):
+        trip = switching_threshold(inv, VDD)
+        vout = float(inv.vout(trip, VDD))
+        assert vout == pytest.approx(trip, abs=1e-3)
+
+    def test_trip_in_sane_window(self, inv):
+        trip = switching_threshold(inv, VDD)
+        assert 0.25 * VDD < trip < 0.65 * VDD
+
+    def test_trip_moves_with_nmos_vt(self, inv):
+        base = switching_threshold(inv, VDD)
+        slow_n = switching_threshold(inv, VDD, dvt_n=0.05)
+        fast_n = switching_threshold(inv, VDD, dvt_n=-0.05)
+        assert fast_n < base < slow_n
+
+    def test_vectorized_vout_matches_scalar(self, inv):
+        vin = np.array([0.2, 0.4, 0.6])
+        vec = inv.vout(vin, VDD)
+        scalars = [float(inv.vout(v, VDD)) for v in vin]
+        np.testing.assert_allclose(vec, scalars, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(vdd=st.floats(0.55, 1.0))
+    def test_vtc_well_formed_across_vdd(self, inv, vdd):
+        vin, vout = vtc_curve(inv, vdd, n_points=31)
+        assert np.all(vout >= -1e-9)
+        assert np.all(vout <= vdd + 1e-9)
+        assert vout[0] > vout[-1]

@@ -1,0 +1,139 @@
+"""Unit tests of the compact MOSFET model.
+
+The node solvers rely on strict monotonicity and physically sane limits;
+these tests pin those properties down, including via hypothesis
+property-based checks over the full bias box.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import Mosfet, nmos, pmos, ptm22
+from repro.errors import ConfigurationError
+from repro.units import nm
+
+
+@pytest.fixture(scope="module")
+def n44():
+    return nmos(ptm22(), nm(44), name="n44")
+
+
+@pytest.fixture(scope="module")
+def p44():
+    return pmos(ptm22(), nm(44), name="p44")
+
+
+class TestBasicIV:
+    def test_zero_vds_gives_zero_current(self, n44):
+        assert n44.current(0.95, 0.0) == 0.0
+
+    def test_negative_vds_clipped_to_zero(self, n44):
+        assert n44.current(0.95, -0.3) == 0.0
+
+    def test_on_current_magnitude_is_22nm_class(self, n44):
+        # ~1 mA/um drive for a 44 nm device -> tens of uA.
+        ion = float(n44.on_current(0.95))
+        assert 20e-6 < ion < 80e-6
+
+    def test_off_current_is_subthreshold(self, n44):
+        ioff = float(n44.off_current(0.95))
+        assert 0.0 < ioff < 10e-9
+        assert ioff < 1e-3 * float(n44.on_current(0.95))
+
+    def test_pmos_weaker_than_nmos_at_equal_geometry(self, n44, p44):
+        assert float(p44.on_current(0.95)) < float(n44.on_current(0.95))
+
+    def test_current_scales_linearly_with_width(self):
+        t = ptm22()
+        narrow = nmos(t, nm(44))
+        wide = nmos(t, nm(88))
+        ratio = float(wide.on_current(0.95)) / float(narrow.on_current(0.95))
+        assert ratio == pytest.approx(2.0, rel=1e-9)
+
+    def test_dvt_shift_reduces_current(self, n44):
+        base = float(n44.current(0.7, 0.7))
+        shifted = float(n44.current(0.7, 0.7, dvt=0.05))
+        assert shifted < base
+
+    def test_dvt_broadcasts(self, n44):
+        dvt = np.array([0.0, 0.02, 0.05, -0.05])
+        out = n44.current(0.7, 0.7, dvt=dvt)
+        assert out.shape == (4,)
+        assert out[3] > out[0] > out[1] > out[2]
+
+
+class TestMonotonicity:
+    """The bisection node solvers require strict monotone currents."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        vgs=st.floats(0.0, 1.0),
+        vds_lo=st.floats(0.01, 0.94),
+        step=st.floats(0.001, 0.05),
+    )
+    def test_current_nondecreasing_in_vds(self, vgs, vds_lo, step):
+        dev = nmos(ptm22(), nm(66))
+        lo = float(dev.current(vgs, vds_lo))
+        hi = float(dev.current(vgs, vds_lo + step))
+        assert hi >= lo - 1e-18
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        vds=st.floats(0.05, 0.95),
+        vgs_lo=st.floats(0.0, 0.9),
+        step=st.floats(0.001, 0.05),
+    )
+    def test_current_increasing_in_vgs(self, vds, vgs_lo, step):
+        dev = nmos(ptm22(), nm(66))
+        lo = float(dev.current(vgs_lo, vds))
+        hi = float(dev.current(vgs_lo + step, vds))
+        assert hi > lo
+
+    @settings(max_examples=100, deadline=None)
+    @given(vgs=st.floats(0.0, 1.0), vds=st.floats(0.0, 1.0))
+    def test_current_never_negative_or_nan(self, vgs, vds):
+        dev = pmos(ptm22(), nm(44))
+        i = float(dev.current(vgs, vds))
+        assert i >= 0.0
+        assert np.isfinite(i)
+
+    def test_output_conductance_positive(self, n44):
+        assert n44.conductance_at(0.95, 0.5) > 0.0
+
+
+class TestSubthreshold:
+    def test_subthreshold_swing_matches_card(self):
+        """Current should decay one decade per `subthreshold_swing` volts."""
+        t = ptm22()
+        dev = nmos(t, nm(44))
+        ss = t.nmos.subthreshold_swing
+        # Two points well below threshold (vt0 = 0.38).
+        i1 = float(dev.current(0.20, 0.95))
+        i2 = float(dev.current(0.20 - ss, 0.95))
+        assert i1 / i2 == pytest.approx(10.0, rel=0.05)
+
+    def test_dibl_raises_leakage_with_vds(self, n44):
+        low = float(n44.current(0.0, 0.5))
+        high = float(n44.current(0.0, 0.95))
+        assert high > low
+
+
+class TestGeometryAndSigma:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Mosfet(params=ptm22().nmos, width=-1e-9, length=22e-9)
+
+    def test_sigma_vt_is_pelgrom_scaled(self):
+        t = ptm22()
+        minimum = nmos(t, t.w_min, t.l_min)
+        quadruple = nmos(t, 4 * t.w_min, t.l_min)
+        assert minimum.sigma_vt(t) == pytest.approx(t.sigma_vt0)
+        assert quadruple.sigma_vt(t) == pytest.approx(t.sigma_vt0 / 2.0)
+
+    def test_resized_preserves_params(self, n44):
+        bigger = n44.resized(width=2 * n44.width)
+        assert bigger.params is n44.params
+        assert bigger.width == pytest.approx(2 * n44.width)
+        assert bigger.length == n44.length

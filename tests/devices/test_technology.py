@@ -1,0 +1,68 @@
+"""Tests of the technology parameter bundles and their validation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.devices.technology import (
+    MosfetParams,
+    Technology,
+    get_technology,
+    ptm22,
+)
+from repro.errors import ConfigurationError
+from repro.units import mV
+
+
+class TestMosfetParams:
+    def test_default_card_is_valid(self):
+        assert ptm22().nmos.polarity == "nmos"
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ConfigurationError):
+            replace(ptm22().nmos, polarity="cmos")
+
+    def test_rejects_negative_vt(self):
+        with pytest.raises(ConfigurationError):
+            replace(ptm22().nmos, vt0=-0.1)
+
+    def test_rejects_alpha_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            replace(ptm22().nmos, alpha=2.5)
+
+    def test_rejects_sub_60mv_swing(self):
+        with pytest.raises(ConfigurationError):
+            replace(ptm22().nmos, subthreshold_swing=mV(40.0))
+
+    def test_ideality_reproduces_swing(self):
+        card = ptm22().nmos
+        # The ideality is defined so n * vT * ln10 / alpha == swing.
+        from repro.devices.technology import THERMAL_VOLTAGE
+
+        swing = card.ideality * THERMAL_VOLTAGE * 2.302585 / card.alpha
+        assert swing == pytest.approx(card.subthreshold_swing, rel=1e-9)
+
+
+class TestTechnology:
+    def test_nominal_voltage_is_papers(self):
+        assert ptm22().vdd_nominal == pytest.approx(0.95)
+
+    def test_scaled_override(self):
+        t = ptm22().scaled(sigma_vt0=mV(50.0))
+        assert t.sigma_vt0 == pytest.approx(0.050)
+        assert t.name == "ptm22"
+
+    def test_rejects_bad_sense_margin(self):
+        with pytest.raises(ConfigurationError):
+            ptm22().scaled(sense_margin=2.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            ptm22().scaled(sigma_vt0=-1e-3)
+
+    def test_registry_lookup(self):
+        assert isinstance(get_technology("ptm22"), Technology)
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown technology"):
+            get_technology("ptm7")

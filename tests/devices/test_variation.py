@@ -1,0 +1,86 @@
+"""Tests of the Pelgrom ΔVT variation model (paper eq. (1))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import VariationModel, nmos, pelgrom_sigma, pmos, ptm22
+from repro.errors import ConfigurationError
+from repro.units import nm
+
+
+@pytest.fixture(scope="module")
+def model():
+    t = ptm22()
+    devices = [
+        pmos(t, nm(48), name="PU"),
+        nmos(t, nm(96), name="PD"),
+        nmos(t, nm(44), name="PG"),
+    ]
+    return VariationModel(t, devices)
+
+
+class TestPelgromSigma:
+    def test_minimum_device_gets_sigma_vt0(self):
+        t = ptm22()
+        assert pelgrom_sigma(t, t.w_min, t.l_min) == pytest.approx(t.sigma_vt0)
+
+    def test_area_scaling_exponent(self):
+        t = ptm22()
+        s1 = pelgrom_sigma(t, t.w_min, t.l_min)
+        s4 = pelgrom_sigma(t, 2 * t.w_min, 2 * t.l_min)
+        assert s4 == pytest.approx(s1 / 2.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(scale=st.floats(1.0, 20.0))
+    def test_wider_is_always_tighter(self, scale):
+        t = ptm22()
+        assert pelgrom_sigma(t, scale * t.w_min, t.l_min) <= t.sigma_vt0 + 1e-12
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            pelgrom_sigma(ptm22(), 0.0, 22e-9)
+
+
+class TestVariationModel:
+    def test_sigma_vector_order_matches_devices(self, model):
+        sig = model.sigmas
+        # PD is the widest device -> smallest sigma; PG minimum -> largest.
+        assert sig[1] < sig[0] < sig[2] or sig[1] < sig[2]
+        assert model.names == ("PU", "PD", "PG")
+
+    def test_sample_shape_and_determinism(self, model):
+        a = model.sample(500, seed=42)
+        b = model.sample(500, seed=42)
+        assert a.shape == (500, 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_columns_match_sigma(self, model):
+        samples = model.sample(200_000, seed=7)
+        emp = samples.std(axis=0)
+        np.testing.assert_allclose(emp, model.sigmas, rtol=0.02)
+
+    def test_sample_zero_mean(self, model):
+        samples = model.sample(200_000, seed=8)
+        assert np.abs(samples.mean(axis=0)).max() < 3e-4
+
+    def test_columns_independent(self, model):
+        samples = model.sample(100_000, seed=9)
+        corr = np.corrcoef(samples.T)
+        off_diag = corr[~np.eye(3, dtype=bool)]
+        assert np.abs(off_diag).max() < 0.02
+
+    def test_rejects_empty_devices(self):
+        with pytest.raises(ConfigurationError):
+            VariationModel(ptm22(), [])
+
+    def test_rejects_nonpositive_n(self, model):
+        with pytest.raises(ConfigurationError):
+            model.sample(0)
+
+    def test_sigma_multiples_deterministic_corners(self, model):
+        corners = model.sample_sigma_multiples([-3.0, 0.0, 3.0])
+        assert corners.shape == (3, 3)
+        np.testing.assert_allclose(corners[1], 0.0)
+        np.testing.assert_allclose(corners[2], 3.0 * model.sigmas)

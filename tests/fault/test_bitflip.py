@@ -1,0 +1,81 @@
+"""Tests of the XOR flip-mask machinery (with hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fault.bitflip import (
+    apply_flip_mask,
+    count_flipped_bits,
+    flips_per_bit_position,
+    random_flip_mask,
+)
+
+
+class TestRandomFlipMask:
+    def test_zero_probability_no_flips(self):
+        mask = random_flip_mask((100,), 0.0, 8, seed=1)
+        assert not mask.any()
+
+    def test_unit_probability_flips_every_bit(self):
+        mask = random_flip_mask((50,), 1.0, 8, seed=1)
+        assert np.all(mask == 0xFF)
+
+    def test_per_bit_vector_respected(self):
+        p = np.zeros(8)
+        p[7] = 1.0  # only the MSB ever flips
+        mask = random_flip_mask((200,), p, 8, seed=2)
+        assert np.all(mask == 0x80)
+
+    def test_statistical_rate(self):
+        mask = random_flip_mask((200_000,), 0.05, 8, seed=3)
+        rate = count_flipped_bits(mask) / (200_000 * 8)
+        assert rate == pytest.approx(0.05, rel=0.05)
+
+    def test_deterministic(self):
+        a = random_flip_mask((64,), 0.3, 8, seed=9)
+        b = random_flip_mask((64,), 0.3, 8, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_flip_mask((4,), 1.5, 8)
+        with pytest.raises(ConfigurationError):
+            random_flip_mask((4,), [0.1, 0.2], 8)
+        with pytest.raises(ConfigurationError):
+            random_flip_mask((4,), 0.1, 0)
+
+    def test_no_bits_above_width(self):
+        mask = random_flip_mask((1000,), 1.0, 5, seed=4)
+        assert int(mask.max()) <= 0x1F
+
+
+class TestApplyAndCount:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_double_application_restores(self, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 256, size=37).astype(np.uint16)
+        mask = random_flip_mask((37,), 0.3, 8, seed=seed)
+        flipped = apply_flip_mask(codes, mask)
+        restored = apply_flip_mask(flipped, mask)
+        np.testing.assert_array_equal(restored, codes)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_flip_mask(np.zeros(4, dtype=np.uint16),
+                            np.zeros(5, dtype=np.uint16))
+
+    def test_count_flipped_bits(self):
+        mask = np.array([0b101, 0b11, 0], dtype=np.uint16)
+        assert count_flipped_bits(mask) == 4
+
+    def test_count_empty(self):
+        assert count_flipped_bits(np.array([], dtype=np.uint16)) == 0
+
+    def test_flips_per_bit_position(self):
+        mask = np.array([0b1, 0b1, 0b100], dtype=np.uint16)
+        hist = flips_per_bit_position(mask, 4)
+        np.testing.assert_array_equal(hist, [2, 0, 1, 0])

@@ -1,0 +1,95 @@
+"""Tests of the per-bit failure model bridging circuit to system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fault.model import BitErrorRates, word_bit_error_rates
+from repro.sram.characterize import CharacterizationPoint
+
+
+def point(p_ra, p_wr, p_rd=0.0, vdd=0.65):
+    return CharacterizationPoint(
+        vdd=vdd, p_read_access=p_ra, p_write=p_wr, p_read_disturb=p_rd,
+        p_cell=min(1.0, p_ra + p_wr + p_rd), read_energy=1e-15,
+        write_energy=1e-15, read_power=1e-6, write_power=1e-6,
+        leakage_power=1e-10, cycle_time=1e-9,
+    )
+
+
+P6 = point(0.02, 0.001, 1e-9)
+P8 = point(1e-8, 1e-9)
+
+
+class TestWordBitErrorRates:
+    def test_all_6t_is_uniform(self):
+        """Paper: 'the failures are distributed uniformly for a 6T SRAM'."""
+        rates = word_bit_error_rates(0.65, P6, P8, msb_in_8t=0)
+        assert np.allclose(rates.p_total, rates.p_total[0])
+        assert rates.p_total[0] == pytest.approx(0.02 + 0.001, rel=1e-6)
+
+    def test_hybrid_affects_only_lsbs(self):
+        """Paper: 'only the LSBs are affected in a hybrid 8T-6T SRAM'."""
+        rates = word_bit_error_rates(0.65, P6, P8, msb_in_8t=3)
+        assert np.all(rates.p_total[5:] < 1e-6)   # protected MSBs
+        assert np.all(rates.p_total[:5] > 1e-3)   # exposed LSBs
+
+    def test_all_8t_word(self):
+        rates = word_bit_error_rates(0.65, P6, P8, msb_in_8t=8)
+        assert np.all(rates.p_total < 1e-6)
+
+    def test_write_failures_can_be_excluded(self):
+        with_wr = word_bit_error_rates(0.65, P6, P8, msb_in_8t=0)
+        without = word_bit_error_rates(0.65, P6, P8, msb_in_8t=0,
+                                       include_write_failures=False)
+        assert np.all(without.p_total < with_wr.p_total)
+        assert np.all(without.p_write == 0.0)
+
+    def test_disturb_can_be_excluded(self):
+        base = word_bit_error_rates(0.65, P6, P8, msb_in_8t=0)
+        no_rd = word_bit_error_rates(0.65, P6, P8, msb_in_8t=0,
+                                     include_read_disturb=False)
+        assert np.all(no_rd.p_read <= base.p_read)
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            word_bit_error_rates(0.65, P6, P8, msb_in_8t=9)
+
+    def test_invalid_table_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            word_bit_error_rates(0.65, "not-a-table", P8)
+
+
+class TestBitErrorRates:
+    def test_expected_flips_per_word(self):
+        rates = BitErrorRates(
+            vdd=0.65, n_bits=4, msb_in_8t=0,
+            p_read=np.full(4, 0.1), p_write=np.full(4, 0.05),
+        )
+        assert rates.expected_flips_per_word == pytest.approx(4 * 0.15)
+
+    def test_total_clipped_at_one(self):
+        rates = BitErrorRates(
+            vdd=0.65, n_bits=2, msb_in_8t=0,
+            p_read=np.array([0.8, 0.0]), p_write=np.array([0.7, 0.0]),
+        )
+        assert rates.p_total[0] == 1.0
+
+    def test_scaled(self):
+        rates = BitErrorRates(
+            vdd=0.65, n_bits=2, msb_in_8t=1,
+            p_read=np.array([0.1, 0.0]), p_write=np.array([0.02, 0.0]),
+        )
+        double = rates.scaled(2.0)
+        assert double.p_read[0] == pytest.approx(0.2)
+        assert double.msb_in_8t == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            BitErrorRates(vdd=0.65, n_bits=4, msb_in_8t=0,
+                          p_read=np.zeros(3), p_write=np.zeros(4))
+
+    def test_range_validation(self):
+        with pytest.raises(ConfigurationError):
+            BitErrorRates(vdd=0.65, n_bits=2, msb_in_8t=0,
+                          p_read=np.array([1.5, 0.0]), p_write=np.zeros(2))

@@ -1,0 +1,74 @@
+"""Tests of the transient (per-access) fault-injection mode."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fault.evaluate import evaluate_under_faults
+from repro.fault.injector import WeightFaultInjector
+from repro.fault.model import BitErrorRates
+from repro.nn import FeedforwardANN, NetworkSpec, quantize_network
+
+
+def uniform_rates(p, n_bits=8):
+    return BitErrorRates(
+        vdd=0.65, n_bits=n_bits, msb_in_8t=0,
+        p_read=np.full(n_bits, p), p_write=np.zeros(n_bits),
+    )
+
+
+@pytest.fixture()
+def setup():
+    net = FeedforwardANN(NetworkSpec(layer_sizes=(16, 12, 4), seed=5))
+    image = quantize_network(net, n_bits=8)
+    rng = np.random.default_rng(0)
+    x = rng.random((120, 16))
+    y = rng.integers(0, 4, 120)
+    return net, image, x, y
+
+
+class TestTransientMode:
+    def test_mode_validation(self, setup):
+        net, image, x, y = setup
+        with pytest.raises(ConfigurationError):
+            evaluate_under_faults(net, image, None, x, y, mode="sporadic")
+        with pytest.raises(ConfigurationError):
+            evaluate_under_faults(net, image, None, x, y, mode="transient",
+                                  batch_size=0)
+
+    def test_zero_rate_matches_baseline(self, setup):
+        net, image, x, y = setup
+        injector = WeightFaultInjector([uniform_rates(0.0)] * 2)
+        result = evaluate_under_faults(net, image, injector, x, y,
+                                       n_trials=2, seed=1, mode="transient",
+                                       batch_size=32)
+        assert result.mean_accuracy == pytest.approx(result.baseline_accuracy)
+
+    def test_network_restored(self, setup):
+        net, image, x, y = setup
+        before = [w.copy() for w in net.weight_matrices()]
+        injector = WeightFaultInjector([uniform_rates(0.4)] * 2)
+        evaluate_under_faults(net, image, injector, x, y, n_trials=2,
+                              seed=2, mode="transient", batch_size=32)
+        for w_before, w_after in zip(before, net.weight_matrices()):
+            np.testing.assert_array_equal(w_before, w_after)
+
+    def test_transient_and_persistent_similar_means(self, setup):
+        net, image, x, y = setup
+        injector = WeightFaultInjector([uniform_rates(0.05)] * 2)
+        persistent = evaluate_under_faults(net, image, injector, x, y,
+                                           n_trials=10, seed=3,
+                                           mode="persistent")
+        transient = evaluate_under_faults(net, image, injector, x, y,
+                                          n_trials=10, seed=3,
+                                          mode="transient", batch_size=24)
+        assert abs(persistent.mean_accuracy - transient.mean_accuracy) < 0.15
+
+    def test_transient_deterministic_given_seed(self, setup):
+        net, image, x, y = setup
+        injector = WeightFaultInjector([uniform_rates(0.2)] * 2)
+        a = evaluate_under_faults(net, image, injector, x, y, n_trials=2,
+                                  seed=9, mode="transient", batch_size=40)
+        b = evaluate_under_faults(net, image, injector, x, y, n_trials=2,
+                                  seed=9, mode="transient", batch_size=40)
+        assert a.trial_accuracies == b.trial_accuracies

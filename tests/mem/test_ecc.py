@@ -1,0 +1,119 @@
+"""Tests of the SEC-ECC protection model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fault.model import BitErrorRates
+from repro.mem.ecc import (
+    EccFaultInjector,
+    SecCode,
+    ecc_area_factor,
+    ecc_energy_factor,
+    parity_bits_for,
+)
+from repro.nn import FeedforwardANN, NetworkSpec, quantize_network
+
+
+def uniform_rates(p, n_bits=8):
+    return BitErrorRates(
+        vdd=0.65, n_bits=n_bits, msb_in_8t=0,
+        p_read=np.full(n_bits, p), p_write=np.zeros(n_bits),
+    )
+
+
+@pytest.fixture()
+def image():
+    net = FeedforwardANN(NetworkSpec(layer_sizes=(20, 12, 4), seed=2))
+    return quantize_network(net, n_bits=8)
+
+
+class TestSecCode:
+    def test_hamming_bound_for_8_data_bits(self):
+        assert parity_bits_for(8) == 4
+        assert SecCode(8).n_total == 12
+        assert SecCode(8).storage_overhead == pytest.approx(0.5)
+
+    def test_hamming_bound_other_widths(self):
+        assert parity_bits_for(4) == 3
+        assert parity_bits_for(11) == 4
+        assert parity_bits_for(12) == 5
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            parity_bits_for(0)
+
+    def test_cost_factors(self):
+        code = SecCode(8)
+        assert ecc_area_factor(code) == pytest.approx(1.5)
+        assert ecc_energy_factor(code, decoder_overhead=0.0) == pytest.approx(1.5)
+        assert ecc_energy_factor(code) > 1.5
+        with pytest.raises(ConfigurationError):
+            ecc_energy_factor(code, decoder_overhead=-0.1)
+
+
+class TestEccFaultInjector:
+    def test_zero_rate_is_clean(self, image):
+        injector = EccFaultInjector([uniform_rates(0.0)] * 2)
+        out = injector.inject(image, seed=1)
+        for a, b in zip(out.weight_codes, image.weight_codes):
+            np.testing.assert_array_equal(a, b)
+
+    def test_rejects_hybrid_rates(self):
+        rates = BitErrorRates(
+            vdd=0.65, n_bits=8, msb_in_8t=3,
+            p_read=np.full(8, 0.01), p_write=np.zeros(8),
+        )
+        with pytest.raises(ConfigurationError):
+            EccFaultInjector([rates])
+
+    def test_rejects_nonuniform_rates(self, image):
+        p = np.full(8, 0.01)
+        p[0] = 0.5
+        rates = BitErrorRates(vdd=0.65, n_bits=8, msb_in_8t=0,
+                              p_read=p, p_write=np.zeros(8))
+        injector = EccFaultInjector([rates] * 2)
+        with pytest.raises(ConfigurationError):
+            injector.inject(image, seed=1)
+
+    def test_single_errors_fully_corrected(self, image):
+        """At tiny per-bit rates almost all faulty words carry a single
+        error, so post-decode corruption must collapse by orders of
+        magnitude relative to an uncoded memory."""
+        p = 1e-3
+        injector = EccFaultInjector([uniform_rates(p)] * 2)
+        expected = injector.expected_flips(image)
+        uncoded = image.total_synapses * 8 * p
+        assert expected < 0.05 * uncoded
+
+    def test_expected_flips_matches_sampling_at_high_p(self, image):
+        injector = EccFaultInjector([uniform_rates(0.05)] * 2)
+        analytic = injector.expected_flips(image)
+        counts = []
+        for trial in range(30):
+            out = injector.inject(image, seed=trial)
+            flipped = 0
+            for clean, bad in zip(image.weight_codes, out.weight_codes):
+                diff = (clean ^ bad).astype(np.uint16).view(np.uint8)
+                flipped += int(np.unpackbits(diff).sum())
+            for clean, bad in zip(image.bias_codes, out.bias_codes):
+                diff = (clean ^ bad).astype(np.uint16).view(np.uint8)
+                flipped += int(np.unpackbits(diff).sum())
+            counts.append(flipped)
+        assert np.mean(counts) == pytest.approx(analytic, rel=0.25)
+
+    def test_deterministic_given_seed(self, image):
+        injector = EccFaultInjector([uniform_rates(0.1)] * 2)
+        a = injector.inject(image, seed=5)
+        b = injector.inject(image, seed=5)
+        for ca, cb in zip(a.weight_codes, b.weight_codes):
+            np.testing.assert_array_equal(ca, cb)
+
+    def test_layer_count_checked(self, image):
+        injector = EccFaultInjector([uniform_rates(0.1)])
+        with pytest.raises(ConfigurationError):
+            injector.inject(image)
+
+    def test_code_width_must_match_words(self):
+        with pytest.raises(ConfigurationError):
+            EccFaultInjector([uniform_rates(0.1, n_bits=8)], code=SecCode(6))

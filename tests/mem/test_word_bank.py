@@ -1,0 +1,84 @@
+"""Tests of word formats and hybrid banks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem import CellTables, HybridBank, WordFormat
+
+
+@pytest.fixture(scope="module")
+def tables(tech):
+    return CellTables.build(
+        technology=tech,
+        vdd_grid=(0.65, 0.75, 0.85, 0.95),
+        n_samples=2000,
+        use_cache=False,
+    )
+
+
+class TestWordFormat:
+    def test_labels_match_paper_notation(self):
+        assert WordFormat(8, 3).label == "(3,5)"
+        assert WordFormat(8, 0).label == "(0,8)"
+
+    def test_classification_flags(self):
+        assert WordFormat(8, 0).is_all_6t
+        assert WordFormat(8, 8).is_all_8t
+        assert WordFormat(8, 3).is_hybrid
+        assert not WordFormat(8, 0).is_hybrid
+
+    def test_bit_is_8t_boundary(self):
+        w = WordFormat(8, 3)
+        assert not w.bit_is_8t(4)
+        assert w.bit_is_8t(5)
+        assert w.bit_is_8t(7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WordFormat(8, 9)
+        with pytest.raises(ConfigurationError):
+            WordFormat(0, 0)
+        with pytest.raises(ConfigurationError):
+            WordFormat(8, 3).bit_is_8t(8)
+
+
+class TestHybridBank:
+    def test_cell_counts(self, tables):
+        bank = HybridBank("b", n_words=1000, word=WordFormat(8, 3), tables=tables)
+        assert bank.n_8t_cells == 3000
+        assert bank.n_6t_cells == 5000
+        assert bank.n_bits_total == 8000
+
+    def test_rejects_empty_bank(self, tables):
+        with pytest.raises(ConfigurationError):
+            HybridBank("b", n_words=0, word=WordFormat(8, 3), tables=tables)
+
+    def test_area_monotone_in_protection(self, tables):
+        areas = [
+            HybridBank("b", 1000, WordFormat(8, n), tables).area
+            for n in range(9)
+        ]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+
+    def test_hybrid_word_energy_between_pure_words(self, tables):
+        e6 = HybridBank("b", 10, WordFormat(8, 0), tables).read_energy_per_word(0.75)
+        e8 = HybridBank("b", 10, WordFormat(8, 8), tables).read_energy_per_word(0.75)
+        eh = HybridBank("b", 10, WordFormat(8, 4), tables).read_energy_per_word(0.75)
+        assert e6 < eh < e8
+
+    def test_access_power_drops_with_vdd(self, tables):
+        bank = HybridBank("b", 1000, WordFormat(8, 3), tables)
+        assert bank.access_power(0.65) < bank.access_power(0.95)
+
+    def test_leakage_scales_with_words(self, tables):
+        small = HybridBank("b", 500, WordFormat(8, 2), tables)
+        big = HybridBank("b", 1000, WordFormat(8, 2), tables)
+        assert big.leakage_power(0.75) == pytest.approx(2 * small.leakage_power(0.75))
+
+    def test_bit_error_rates_protect_msbs(self, tables):
+        bank = HybridBank("b", 100, WordFormat(8, 3), tables)
+        rates = bank.bit_error_rates(0.65)
+        assert rates.msb_in_8t == 3
+        assert np.all(rates.p_total[5:] < 1e-4)
+        assert np.all(rates.p_total[:5] > rates.p_total[7])

@@ -1,0 +1,83 @@
+"""Tests of the SGD trainer on a small learnable problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import FeedforwardANN, NetworkSpec, SGDTrainer, accuracy
+
+
+def two_blob_problem(n=400, seed=0):
+    """Linearly separable 2-class blobs: trainable in a couple of epochs."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=-1.0, scale=0.5, size=(n // 2, 4))
+    x1 = rng.normal(loc=+1.0, scale=0.5, size=(n // 2, 4))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+class TestValidation:
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(epochs=0)
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(learning_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(momentum=1.0)
+
+    def test_rejects_mismatched_data(self):
+        net = FeedforwardANN(NetworkSpec(layer_sizes=(4, 8, 2), seed=0))
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(epochs=1).train(net, np.zeros((10, 4)), np.zeros(9, dtype=int))
+
+    def test_patience_requires_validation(self):
+        net = FeedforwardANN(NetworkSpec(layer_sizes=(4, 8, 2), seed=0))
+        x, y = two_blob_problem()
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(epochs=1, patience=2).train(net, x, y)
+
+
+class TestLearning:
+    def test_learns_blobs(self):
+        x, y = two_blob_problem()
+        net = FeedforwardANN(NetworkSpec(layer_sizes=(4, 16, 2), seed=0))
+        result = SGDTrainer(epochs=10, batch_size=32, learning_rate=0.3,
+                            seed=1).train(net, x, y)
+        assert result.final_train_accuracy > 0.95
+        assert result.train_loss[-1] < result.train_loss[0]
+
+    def test_deterministic_training(self):
+        x, y = two_blob_problem()
+        accs = []
+        for _ in range(2):
+            net = FeedforwardANN(NetworkSpec(layer_sizes=(4, 16, 2), seed=0))
+            res = SGDTrainer(epochs=3, seed=5).train(net, x, y)
+            accs.append(res.train_accuracy[-1])
+        assert accs[0] == accs[1]
+
+    def test_mse_loss_with_sigmoid_output_learns(self):
+        """The DeepLearnToolbox-fidelity configuration must also train."""
+        x, y = two_blob_problem()
+        spec = NetworkSpec(layer_sizes=(4, 16, 2), output_activation="sigmoid")
+        net = FeedforwardANN(spec)
+        res = SGDTrainer(epochs=12, loss="mse", learning_rate=0.5,
+                         seed=2).train(net, x, y)
+        assert res.final_train_accuracy > 0.9
+
+    def test_early_stopping_halts(self):
+        x, y = two_blob_problem()
+        net = FeedforwardANN(NetworkSpec(layer_sizes=(4, 16, 2), seed=0))
+        res = SGDTrainer(epochs=50, patience=2, seed=3).train(
+            net, x, y, x_val=x[:50], y_val=y[:50]
+        )
+        assert res.epochs_run < 50
+
+    def test_history_lengths_consistent(self):
+        x, y = two_blob_problem()
+        net = FeedforwardANN(NetworkSpec(layer_sizes=(4, 8, 2), seed=0))
+        res = SGDTrainer(epochs=4, seed=1).train(net, x, y, x_val=x[:20], y_val=y[:20])
+        assert len(res.train_loss) == res.epochs_run
+        assert len(res.val_accuracy) == res.epochs_run
+        assert res.wall_seconds > 0

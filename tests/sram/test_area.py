@@ -1,0 +1,69 @@
+"""Tests of the layout-area model and the 37% overhead anchor."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.sram import area_overhead_8t_vs_6t, bitcell_area
+from repro.sram.area import AREA_6T_ANCHOR, AreaModel, format_area, word_area
+from repro.sram.sizing import default_6t_sizing
+
+
+class TestAnchors:
+    def test_6t_area_anchor(self, cell6):
+        assert bitcell_area(cell6) == pytest.approx(AREA_6T_ANCHOR, rel=1e-9)
+
+    def test_8t_overhead_is_papers_37pct(self, tech):
+        """Paper Sec. IV: 'the 8T bitcell incurs a 37% area overhead'."""
+        assert area_overhead_8t_vs_6t(tech) == pytest.approx(0.37, abs=0.01)
+
+    def test_sizing_route_matches_cell_route(self, tech, cell6):
+        via_sizing = bitcell_area(default_6t_sizing(tech), tech)
+        assert via_sizing == pytest.approx(bitcell_area(cell6))
+
+    def test_sizing_route_requires_technology(self, tech):
+        with pytest.raises(CalibrationError):
+            bitcell_area(default_6t_sizing(tech))
+
+
+class TestAreaModel:
+    def test_wider_cells_cost_more(self, tech):
+        model = AreaModel.from_anchors(tech)
+        s = default_6t_sizing(tech)
+        wider = s.with_widths(pull_down=2 * s.pull_down)
+        assert model.cell_area(wider) > model.cell_area(s)
+
+    def test_constants_positive(self, tech):
+        model = AreaModel.from_anchors(tech)
+        assert model.a0 > 0
+        assert model.a1 > 0
+
+    def test_impossible_ratio_raises(self, tech):
+        with pytest.raises(CalibrationError):
+            AreaModel.from_anchors(tech, ratio_8t=3.0)
+
+
+class TestWordArea:
+    def test_all_6t_word(self, tech, cell6):
+        assert word_area(tech, bits=8, msb_in_8t=0) == pytest.approx(
+            8 * bitcell_area(cell6)
+        )
+
+    def test_all_8t_word(self, tech, cell8):
+        assert word_area(tech, bits=8, msb_in_8t=8) == pytest.approx(
+            8 * bitcell_area(cell8)
+        )
+
+    def test_hybrid_word_matches_paper_arithmetic(self, tech):
+        """3 of 8 bits in 8T -> 3/8 * 37% = 13.875% word-area overhead,
+        the paper's Fig. 8(c) value for the (3,5) configuration."""
+        base = word_area(tech, bits=8, msb_in_8t=0)
+        hybrid = word_area(tech, bits=8, msb_in_8t=3)
+        overhead = hybrid / base - 1.0
+        assert overhead == pytest.approx(3 / 8 * 0.37, abs=0.005)
+
+    def test_rejects_out_of_range_split(self, tech):
+        with pytest.raises(CalibrationError):
+            word_area(tech, bits=8, msb_in_8t=9)
+
+    def test_format_area(self):
+        assert "um^2" in format_area(1e-13)

@@ -1,0 +1,58 @@
+"""Tests of the sub-array aggregation layer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram import SubArray
+
+
+@pytest.fixture(scope="module")
+def arr6(cell6):
+    return SubArray(cell=cell6, rows=256, cols=256, mc_samples=2000, seed=31)
+
+
+class TestGeometry:
+    def test_cell_count(self, arr6):
+        assert arr6.n_cells == 256 * 256
+
+    def test_rejects_bad_geometry(self, cell6):
+        with pytest.raises(ConfigurationError):
+            SubArray(cell=cell6, rows=0, cols=16)
+
+    def test_area_includes_periphery(self, arr6, cell6):
+        from repro.sram import bitcell_area
+
+        raw = arr6.n_cells * bitcell_area(cell6)
+        assert arr6.area > raw
+        assert arr6.area < 1.5 * raw
+
+
+class TestPower:
+    def test_leakage_scales_with_cells(self, cell6):
+        small = SubArray(cell=cell6, rows=64, cols=64, mc_samples=2000)
+        big = SubArray(cell=cell6, rows=64, cols=128, mc_samples=2000)
+        assert big.leakage_power(0.8) == pytest.approx(2 * small.leakage_power(0.8))
+
+    def test_row_energies_positive(self, arr6):
+        assert arr6.row_read_energy(0.8) > 0
+        assert arr6.row_write_energy(0.8) > 0
+
+    def test_cell_power_at_exposes_cycle(self, arr6):
+        p = arr6.cell_power_at(0.75)
+        assert p.cycle_time > arr6.cell_power_at(0.95).cycle_time
+
+
+class TestFailures:
+    def test_failure_rates_cached(self, arr6):
+        a = arr6.failure_rates(0.7)
+        b = arr6.failure_rates(0.7)
+        assert a is b  # same object -> the Monte Carlo ran once
+
+    def test_expected_faulty_cells(self, arr6):
+        expected = arr6.expected_faulty_cells(0.65)
+        assert 0 < expected < arr6.n_cells
+
+    def test_read_cycle_budget_override(self, cell6, cell8):
+        budget = SubArray(cell=cell6, mc_samples=2000).read_cycle_budget()
+        arr8 = SubArray(cell=cell8, mc_samples=2000, read_cycle=budget)
+        assert arr8.read_cycle_budget() == budget

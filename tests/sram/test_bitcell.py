@@ -1,0 +1,106 @@
+"""Tests of the 6T/8T bitcell topologies and their node solutions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram import EightTCell, SixTCell, make_cell
+from repro.sram.bitcell import PD_R, PG_R
+from repro.sram.sizing import default_6t_sizing, default_8t_sizing
+
+VDD = 0.95
+
+
+class TestConstruction:
+    def test_factory_kinds(self, tech):
+        assert isinstance(make_cell("6t", tech), SixTCell)
+        assert isinstance(make_cell("8T", tech), EightTCell)
+
+    def test_factory_rejects_unknown(self, tech):
+        with pytest.raises(ConfigurationError):
+            make_cell("10t", tech)
+
+    def test_6t_rejects_8t_sizing(self, tech):
+        with pytest.raises(ConfigurationError):
+            SixTCell(tech, default_8t_sizing(tech))
+
+    def test_8t_rejects_6t_sizing(self, tech):
+        with pytest.raises(ConfigurationError):
+            EightTCell(tech, default_6t_sizing(tech))
+
+    def test_device_order_contract(self, cell6, cell8):
+        assert cell6.device_names == ("PU_L", "PD_L", "PG_L", "PU_R", "PD_R", "PG_R")
+        assert cell8.device_names == (
+            "PU_L", "PD_L", "PG_L", "PU_R", "PD_R", "PG_R", "RPG", "RPD"
+        )
+
+    def test_variation_model_columns(self, cell6, cell8):
+        assert cell6.variation_model().sample(10, seed=1).shape == (10, 6)
+        assert cell8.variation_model().sample(10, seed=1).shape == (10, 8)
+
+
+class TestNodeSolutions:
+    def test_read_bump_is_small_but_positive(self, cell6):
+        bump = float(cell6.read_bump_voltage(VDD))
+        assert 0.01 < bump < 0.3
+
+    def test_bump_below_trip_at_nominal(self, cell6):
+        """No read-disturb for the nominal cell: bump << trip point."""
+        bump = float(cell6.read_bump_voltage(VDD))
+        trip = float(cell6.trip_voltage_left(VDD))
+        assert trip - bump > 0.15
+
+    def test_bump_grows_with_weak_pulldown(self, cell6):
+        dvt = np.zeros(6)
+        dvt[PD_R] = 0.15  # weak right pull-down
+        weak = float(cell6.read_bump_voltage(VDD, dvt=dvt))
+        assert weak > float(cell6.read_bump_voltage(VDD))
+
+    def test_bump_shrinks_with_weak_passgate(self, cell6):
+        dvt = np.zeros(6)
+        dvt[PG_R] = 0.15  # weak access device injects less
+        weak_pg = float(cell6.read_bump_voltage(VDD, dvt=dvt))
+        assert weak_pg < float(cell6.read_bump_voltage(VDD))
+
+    def test_half_cell_vtc_symmetric_cell(self, cell6):
+        vin = np.linspace(0, VDD, 21)
+        right = cell6.half_cell_vout(vin, VDD, side="right")
+        left = cell6.half_cell_vout(vin, VDD, side="left")
+        np.testing.assert_allclose(right, left, atol=1e-6)
+
+    def test_half_cell_rejects_bad_side(self, cell6):
+        with pytest.raises(ConfigurationError):
+            cell6.half_cell_vout(0.5, VDD, side="top")
+
+    def test_read_mode_degrades_low_level(self, cell6):
+        """With the access device on, the output low is lifted off ground."""
+        hold = float(cell6.half_cell_vout(VDD, VDD, side="right", read_mode=False))
+        read = float(cell6.half_cell_vout(VDD, VDD, side="right", read_mode=True))
+        assert hold < 0.01
+        assert read > hold + 0.01
+
+
+class TestReadCurrents:
+    def test_6t_read_current_magnitude(self, cell6):
+        i = float(cell6.read_stack_current(VDD))
+        assert 5e-6 < i < 100e-6
+
+    def test_8t_read_current_at_least_6t(self, cell6, cell8):
+        i6 = float(cell6.read_stack_current(VDD))
+        i8 = float(cell8.read_stack_current(VDD))
+        assert i8 > i6
+
+    def test_read_current_drops_with_vdd(self, cell6):
+        assert float(cell6.read_stack_current(0.65)) < float(
+            cell6.read_stack_current(0.95)
+        )
+
+    def test_vectorized_read_current(self, cell8):
+        dvt = cell8.variation_model().sample(64, seed=3)
+        i = cell8.read_stack_current(VDD, dvt=dvt)
+        assert i.shape == (64,)
+        assert np.all(i > 0)
+
+    def test_disturb_flags(self, cell6, cell8):
+        assert cell6.has_read_disturb
+        assert not cell8.has_read_disturb

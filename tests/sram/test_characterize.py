@@ -1,0 +1,76 @@
+"""Tests of the cached VDD-sweep characterization tables."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram import characterize_cell
+from repro.sram.characterize import CellCharacterization
+
+
+def small_table(kind, tmp_cache, **kw):
+    return characterize_cell(
+        cell_kind=kind,
+        vdd_grid=(0.65, 0.75, 0.85, 0.95),
+        n_samples=2000,
+        cache_dir=str(tmp_cache),
+        **kw,
+    )
+
+
+class TestCharacterize:
+    def test_table_structure(self, tmp_cache):
+        table = small_table("6t", tmp_cache)
+        assert table.cell_kind == "6t"
+        assert len(table.points) == 4
+        assert table.area > 0
+
+    def test_cache_roundtrip(self, tmp_cache):
+        first = small_table("6t", tmp_cache)
+        again = small_table("6t", tmp_cache)
+        assert first.to_json() == again.to_json()
+
+    def test_json_serialization(self, tmp_cache):
+        table = small_table("8t", tmp_cache)
+        clone = CellCharacterization.from_json(table.to_json())
+        assert clone == table
+
+    def test_unsorted_grid_rejected(self, tmp_cache):
+        with pytest.raises(ConfigurationError):
+            characterize_cell(vdd_grid=(0.9, 0.6), n_samples=2000,
+                              cache_dir=str(tmp_cache))
+
+
+class TestInterpolation:
+    def test_exact_grid_point(self, tmp_cache):
+        table = small_table("6t", tmp_cache)
+        point = table.point_at(0.75)
+        raw = [p for p in table.points if p.vdd == 0.75][0]
+        assert point.p_cell == pytest.approx(raw.p_cell, rel=1e-6)
+        assert point.read_energy == pytest.approx(raw.read_energy, rel=1e-9)
+
+    def test_midpoint_is_between(self, tmp_cache):
+        table = small_table("6t", tmp_cache)
+        lo = table.point_at(0.65)
+        mid = table.point_at(0.70)
+        hi = table.point_at(0.75)
+        assert hi.p_cell <= mid.p_cell <= lo.p_cell
+        assert hi.read_energy >= mid.read_energy >= lo.read_energy
+
+    def test_out_of_range_rejected(self, tmp_cache):
+        table = small_table("6t", tmp_cache)
+        with pytest.raises(ConfigurationError):
+            table.point_at(0.50)
+
+    def test_probabilities_interpolate_in_log_space(self, tmp_cache):
+        """p(V) spans decades; interpolation must not be dominated by the
+        large endpoint the way linear interpolation would be."""
+        table = small_table("6t", tmp_cache)
+        p_lo = table.point_at(0.65).p_read_access
+        p_mid = table.point_at(0.70).p_read_access
+        p_hi = table.point_at(0.75).p_read_access
+        if p_lo > 0 and p_hi > 0:
+            import math
+
+            geometric = math.sqrt(p_lo * p_hi)
+            linear = 0.5 * (p_lo + p_hi)
+            assert abs(p_mid - geometric) < abs(p_mid - linear)

@@ -1,0 +1,99 @@
+"""Tests of the power/leakage models and the paper's 8T-vs-6T anchors."""
+
+import pytest
+
+from repro.sram.power import (
+    cell_power,
+    cycle_time,
+    leakage_current,
+    leakage_power,
+    read_energy,
+    write_energy,
+)
+
+VDD = 0.95
+
+
+class TestDynamicEnergy:
+    def test_read_energy_fj_scale(self, cell6):
+        e = read_energy(cell6, VDD)
+        assert 1e-15 < e < 50e-15
+
+    def test_write_energy_fj_scale(self, cell6):
+        e = write_energy(cell6, VDD)
+        assert 1e-15 < e < 50e-15
+
+    def test_energies_scale_down_with_vdd(self, cell6):
+        assert read_energy(cell6, 0.65) < read_energy(cell6, 0.95)
+        assert write_energy(cell6, 0.65) < write_energy(cell6, 0.95)
+
+    def test_cycle_time_stretches_at_low_vdd(self, cell6):
+        assert cycle_time(cell6, 0.65) > cycle_time(cell6, 0.95)
+
+
+class TestPaperRatios:
+    """Paper Sec. IV: '8T bitcell consumes roughly 20% more read and write
+    power, and 47% more leakage power than a 6T bitcell under iso-voltage
+    conditions'."""
+
+    @pytest.mark.parametrize("vdd", [0.65, 0.75, 0.85, 0.95])
+    def test_read_power_overhead_near_20pct(self, cell6, cell8, vdd):
+        cyc = cycle_time(cell6, vdd)
+        p6 = cell_power(cell6, vdd, cycle_time_override=cyc)
+        p8 = cell_power(cell8, vdd, cycle_time_override=cyc)
+        assert p8.read_power / p6.read_power == pytest.approx(1.20, abs=0.08)
+
+    @pytest.mark.parametrize("vdd", [0.65, 0.75, 0.85, 0.95])
+    def test_write_power_overhead_near_20pct(self, cell6, cell8, vdd):
+        cyc = cycle_time(cell6, vdd)
+        p6 = cell_power(cell6, vdd, cycle_time_override=cyc)
+        p8 = cell_power(cell8, vdd, cycle_time_override=cyc)
+        assert p8.write_power / p6.write_power == pytest.approx(1.20, abs=0.08)
+
+    @pytest.mark.parametrize("vdd", [0.65, 0.75, 0.85, 0.95])
+    def test_leakage_overhead_toward_47pct(self, cell6, cell8, vdd):
+        ratio = leakage_power(cell8, vdd) / leakage_power(cell6, vdd)
+        # Mechanistic subthreshold model lands at ~1.41-1.45 vs the
+        # paper's layout-extracted 1.47 (see EXPERIMENTS.md).
+        assert 1.30 <= ratio <= 1.55
+
+
+class TestLeakage:
+    def test_leakage_positive_and_small(self, cell6):
+        i = leakage_current(cell6, VDD)
+        assert 0 < i < 1e-7
+
+    def test_leakage_drops_with_vdd(self, cell6, cell8):
+        for cell in (cell6, cell8):
+            assert leakage_power(cell, 0.65) < leakage_power(cell, 0.95)
+
+    def test_leakage_power_is_v_times_i(self, cell6):
+        assert leakage_power(cell6, 0.8) == pytest.approx(
+            0.8 * leakage_current(cell6, 0.8)
+        )
+
+
+class TestCellPower:
+    def test_power_fields_consistent(self, cell6):
+        p = cell_power(cell6, VDD)
+        assert p.read_power == pytest.approx(p.read_energy / p.cycle_time)
+        assert p.write_power == pytest.approx(p.write_energy / p.cycle_time)
+        assert p.access_power == p.read_power
+
+    def test_read_power_uw_scale_matching_fig6(self, cell6):
+        """Fig. 6: bitcell access power in the uW band, leakage in nW."""
+        p = cell_power(cell6, VDD)
+        assert 1e-6 < p.read_power < 50e-6
+        assert 1e-6 < p.write_power < 50e-6
+        assert 1e-11 < p.leakage_power < 50e-9
+
+    def test_access_power_falls_superlinearly(self, cell6):
+        """Voltage+frequency scaling: 0.95 -> 0.65 V cuts access power by
+        well over the pure V^2 ratio (2.1x)."""
+        hi = cell_power(cell6, 0.95).read_power
+        lo = cell_power(cell6, 0.65).read_power
+        assert hi / lo > 2.5
+
+    def test_cycle_override_respected(self, cell6):
+        p = cell_power(cell6, VDD, cycle_time_override=1e-9)
+        assert p.cycle_time == 1e-9

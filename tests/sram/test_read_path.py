@@ -1,0 +1,72 @@
+"""Tests of the bitline model and read-access delay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram import BitlineModel, read_delay
+from repro.sram.read_path import nominal_read_cycle
+
+VDD = 0.95
+
+
+class TestBitlineModel:
+    def test_capacitance_scales_with_rows(self, tech):
+        c128 = BitlineModel(tech, rows=128).capacitance
+        c256 = BitlineModel(tech, rows=256).capacitance
+        assert c256 == pytest.approx(2 * c128)
+
+    def test_default_column_is_tens_of_fF(self, tech):
+        c = BitlineModel(tech, rows=256).capacitance
+        assert 20e-15 < c < 200e-15
+
+    def test_port_width_adds_junction(self, tech):
+        narrow = BitlineModel(tech, rows=256, port_width=44e-9).capacitance
+        wide = BitlineModel(tech, rows=256, port_width=160e-9).capacitance
+        assert wide > narrow
+
+    def test_for_cell_uses_read_port(self, tech, cell6, cell8):
+        base = BitlineModel(tech, rows=256)
+        assert base.for_cell(cell6).port_width == cell6.sizing.pass_gate
+        assert base.for_cell(cell8).port_width == cell8.sizing.read_pass
+
+    def test_rejects_bad_rows(self, tech):
+        with pytest.raises(ConfigurationError):
+            BitlineModel(tech, rows=0)
+
+
+class TestReadDelay:
+    def test_nominal_delay_subnanosecond(self, cell6):
+        d = float(read_delay(cell6, VDD))
+        assert 50e-12 < d < 1e-9
+
+    def test_delay_grows_as_vdd_falls(self, cell6):
+        delays = [float(read_delay(cell6, v)) for v in (0.95, 0.80, 0.65)]
+        assert delays[0] < delays[1] < delays[2]
+
+    def test_slow_corner_delay_larger(self, cell6):
+        dvt = np.zeros(6)
+        dvt[4] = 0.1  # weak right pull-down slows the discharge
+        assert float(read_delay(cell6, VDD, dvt=dvt)) > float(read_delay(cell6, VDD))
+
+    def test_8t_not_slower_than_6t(self, cell6, cell8):
+        """The 8T read stack is sized so the hybrid array keeps the 6T
+        access time (paper: equal read access and write times)."""
+        assert float(read_delay(cell8, VDD)) <= float(read_delay(cell6, VDD)) * 1.05
+
+    def test_cutoff_corner_blows_the_budget(self, cell6):
+        dvt = np.zeros(6)
+        dvt[4] = 5.0  # pull-down pinned off (subthreshold trickle only)
+        dvt[5] = 5.0  # access pinned off
+        delay = float(read_delay(cell6, 0.65, dvt=dvt))
+        assert delay > 1e3 * nominal_read_cycle(cell6)
+
+
+class TestReadCycleBudget:
+    def test_guard_band_applied(self, cell6, tech):
+        budget = nominal_read_cycle(cell6)
+        nominal = float(read_delay(cell6, tech.vdd_nominal))
+        assert budget == pytest.approx(tech.timing_guard * nominal)
+
+    def test_budget_has_slack_at_nominal(self, cell6):
+        assert nominal_read_cycle(cell6) > float(read_delay(cell6, VDD))

@@ -1,0 +1,68 @@
+"""Tests of cell sizing dataclasses and their design-ratio properties."""
+
+import pytest
+
+from repro.devices import ptm22
+from repro.errors import ConfigurationError
+from repro.sram import CellSizing, default_6t_sizing, default_8t_sizing
+from repro.units import nm
+
+
+class TestCellSizing:
+    def test_6t_flags(self):
+        s = default_6t_sizing(ptm22())
+        assert not s.is_8t
+        assert s.transistor_count == 6
+
+    def test_8t_flags(self):
+        s = default_8t_sizing(ptm22())
+        assert s.is_8t
+        assert s.transistor_count == 8
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigurationError):
+            CellSizing(pull_down=-nm(10), pull_up=nm(44), pass_gate=nm(44))
+
+    def test_rejects_half_read_stack(self):
+        with pytest.raises(ConfigurationError):
+            CellSizing(pull_down=nm(66), pull_up=nm(44), pass_gate=nm(44),
+                       read_pass=nm(88), read_down=None)
+
+    def test_total_width_counts_symmetric_pairs(self):
+        s = CellSizing(pull_down=nm(60), pull_up=nm(40), pass_gate=nm(50))
+        assert s.total_width == pytest.approx(2 * (nm(60) + nm(40) + nm(50)))
+
+    def test_total_width_8t_adds_single_ended_stack(self):
+        s = CellSizing(pull_down=nm(60), pull_up=nm(40), pass_gate=nm(50),
+                       read_pass=nm(100), read_down=nm(100))
+        assert s.total_width == pytest.approx(
+            2 * (nm(60) + nm(40) + nm(50)) + nm(200)
+        )
+
+    def test_with_widths_override(self):
+        s = default_6t_sizing(ptm22()).with_widths(pass_gate=nm(55))
+        assert s.pass_gate == pytest.approx(nm(55))
+        assert s.pull_down == default_6t_sizing(ptm22()).pull_down
+
+
+class TestDesignRatios:
+    """The default cells must embody the 6T design conflict the paper
+    describes: read stability (beta) vs writability (gamma)."""
+
+    def test_6t_beta_ratio_for_read_stability(self):
+        s = default_6t_sizing(ptm22())
+        assert s.beta_ratio >= 1.5
+
+    def test_6t_gamma_ratio_for_writability(self):
+        s = default_6t_sizing(ptm22())
+        assert s.gamma_ratio >= 0.9
+
+    def test_8t_is_write_optimized(self):
+        s6 = default_6t_sizing(ptm22())
+        s8 = default_8t_sizing(ptm22())
+        # Decoupled read lets the 8T cell crank the write ratio up.
+        assert s8.gamma_ratio > s6.gamma_ratio
+
+    def test_8t_read_stack_is_strong(self):
+        s8 = default_8t_sizing(ptm22())
+        assert s8.read_pass >= 2 * s8.pass_gate

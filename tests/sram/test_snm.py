@@ -1,0 +1,70 @@
+"""Tests of the butterfly / largest-square SNM analysis.
+
+Includes the paper's headline calibration anchor: the 6T cell is
+"sized to have a nominal static read noise margin of 195 mV".
+"""
+
+import numpy as np
+import pytest
+
+from repro.sram import butterfly_curves, hold_snm, largest_square_snm, read_snm
+
+VDD = 0.95
+
+
+class TestAnchors:
+    def test_6t_read_snm_matches_paper_anchor(self, cell6):
+        """Paper Sec. IV: nominal read SNM ~195 mV (22 nm, 0.95 V)."""
+        snm = read_snm(cell6, VDD)
+        assert snm == pytest.approx(0.195, abs=0.015)
+
+    def test_hold_snm_exceeds_read_snm(self, cell6):
+        assert hold_snm(cell6, VDD) > read_snm(cell6, VDD) + 0.05
+
+    def test_8t_read_equals_hold(self, cell8):
+        """Decoupled read port: reading does not stress the cell."""
+        assert read_snm(cell8, VDD) == pytest.approx(hold_snm(cell8, VDD), abs=1e-6)
+
+    def test_8t_read_snm_far_above_6t(self, cell6, cell8):
+        assert read_snm(cell8, VDD) > 1.3 * read_snm(cell6, VDD)
+
+
+class TestVoltageScaling:
+    def test_snm_degrades_with_vdd(self, cell6):
+        snms = [read_snm(cell6, v) for v in (0.95, 0.80, 0.65)]
+        assert snms[0] > snms[2]
+
+    def test_snm_positive_across_paper_range(self, cell6):
+        for v in (0.65, 0.75, 0.85, 0.95):
+            assert read_snm(cell6, v) > 0.05
+
+    def test_8t_stays_stable_at_low_vdd(self, cell8):
+        assert read_snm(cell8, 0.65) > 0.15
+
+
+class TestLargestSquare:
+    def test_ideal_square_butterfly(self):
+        """Two ideal step VTCs crossing at VDD/2 give SNM = VDD/2."""
+        v = np.linspace(0.0, 1.0, 2001)
+        step = np.where(v < 0.5, 1.0, 0.0)
+        snm = largest_square_snm(v, step, step)
+        assert snm == pytest.approx(0.5, abs=0.01)
+
+    def test_degenerate_diagonal_curves_give_zero(self):
+        v = np.linspace(0.0, 1.0, 101)
+        diag = 1.0 - v  # zero-gain 'inverter': butterfly eyes closed
+        assert largest_square_snm(v, diag, diag) == pytest.approx(0.0, abs=1e-9)
+
+    def test_asymmetric_cell_takes_smaller_lobe(self, cell6):
+        """Skewing one side's VT must not increase the reported SNM."""
+        base = read_snm(cell6, VDD)
+        dvt = np.zeros(6)
+        dvt[1] = 0.08  # weak left pull-down
+        skewed = read_snm(cell6, VDD, dvt=dvt)
+        assert skewed < base
+
+    def test_butterfly_curve_shapes(self, cell6):
+        sweep, right, left = butterfly_curves(cell6, VDD, read_mode=True, n_points=51)
+        assert sweep.shape == right.shape == left.shape
+        # Read-mode low level is lifted by the bump.
+        assert right[-1] > 0.01

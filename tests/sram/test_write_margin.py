@@ -1,0 +1,90 @@
+"""Tests of the write-margin analysis and static write criterion."""
+
+import numpy as np
+import pytest
+
+from repro.sram import write_margin, write_node_voltage
+from repro.sram.bitcell import PG_L, PU_L
+from repro.sram.write_margin import check_write_analysis_state, write_succeeds
+
+VDD = 0.95
+
+
+class TestAnchors:
+    def test_6t_write_margin_matches_paper_anchor(self, cell6):
+        """Paper Sec. IV: nominal write margin ~250 mV."""
+        wm = write_margin(cell6, VDD)
+        assert wm == pytest.approx(0.250, abs=0.020)
+
+    def test_8t_more_writable_than_6t(self, cell6, cell8):
+        assert write_margin(cell8, VDD) > write_margin(cell6, VDD)
+
+    def test_nominal_cells_pass_write_check(self, cell6, cell8):
+        check_write_analysis_state(cell6)
+        check_write_analysis_state(cell8)
+
+
+class TestWriteNodeVoltage:
+    def test_full_drive_pulls_node_low(self, cell6):
+        node = float(write_node_voltage(cell6, VDD))
+        assert node < 0.25
+
+    def test_no_drive_keeps_node_high(self, cell6):
+        node = float(write_node_voltage(cell6, VDD, v_wordline=0.0))
+        assert node > 0.9 * VDD
+
+    def test_node_monotone_in_wordline(self, cell6):
+        vwl = np.linspace(0.0, VDD, 11)
+        nodes = write_node_voltage(cell6, VDD, v_wordline=vwl)
+        assert np.all(np.diff(nodes) <= 1e-9)
+
+    def test_strong_pullup_hurts_writability(self, cell6):
+        dvt = np.zeros(6)
+        dvt[PU_L] = -0.12  # stronger PMOS (lower |VT|)
+        assert float(write_node_voltage(cell6, VDD, dvt=dvt)) > float(
+            write_node_voltage(cell6, VDD)
+        )
+
+    def test_weak_passgate_hurts_writability(self, cell6):
+        dvt = np.zeros(6)
+        dvt[PG_L] = 0.12
+        assert float(write_node_voltage(cell6, VDD, dvt=dvt)) > float(
+            write_node_voltage(cell6, VDD)
+        )
+
+
+class TestWriteSucceeds:
+    def test_nominal_write_succeeds(self, cell6):
+        assert bool(write_succeeds(cell6, VDD))
+
+    def test_vectorized_over_samples(self, cell6):
+        dvt = cell6.variation_model().sample(128, seed=11)
+        ok = write_succeeds(cell6, VDD, dvt=dvt)
+        assert ok.shape == (128,)
+        # At nominal voltage the overwhelming majority must succeed.
+        assert ok.mean() > 0.99
+
+    def test_extreme_corner_fails(self, cell6):
+        dvt = np.zeros(6)
+        dvt[PU_L] = -0.5   # absurdly strong pull-up
+        dvt[PG_L] = +0.5   # absurdly weak access
+        assert not bool(write_succeeds(cell6, 0.6, dvt=dvt))
+
+
+class TestWriteMarginScaling:
+    def test_margin_shrinks_with_vdd(self, cell6):
+        assert write_margin(cell6, 0.65) < write_margin(cell6, 0.95)
+
+    def test_margin_vectorized(self, cell6):
+        dvt = cell6.variation_model().sample(32, seed=5)
+        wm = write_margin(cell6, VDD, dvt=dvt)
+        assert wm.shape == (32,)
+        assert np.all(wm >= 0.0)
+        assert np.all(wm <= VDD)
+
+    def test_unwritable_corner_reports_zero(self, cell6):
+        dvt = np.zeros((1, 6))
+        dvt[0, PU_L] = -0.5
+        dvt[0, PG_L] = +0.5
+        wm = write_margin(cell6, 0.6, dvt=dvt)
+        assert wm[0] == pytest.approx(0.0)

@@ -1,0 +1,96 @@
+"""Tests of the array/die-level yield arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.yield_model import (
+    expected_faulty_cells,
+    memory_yield_report,
+    prob_all_good,
+    prob_at_most_k_faulty,
+)
+
+
+class TestBinomialHelpers:
+    def test_expected_faulty_cells(self):
+        assert expected_faulty_cells(0.01, 1000) == pytest.approx(10.0)
+
+    def test_prob_all_good_matches_naive_at_small_n(self):
+        assert prob_all_good(0.1, 10) == pytest.approx(0.9**10, rel=1e-12)
+
+    def test_prob_all_good_large_n_accuracy(self):
+        import math
+
+        # (1 - 1e-6)^(1e7) = exp(1e7 * log1p(-1e-6)) ~ exp(-10.000005):
+        # the log-domain path keeps full precision at die-scale counts.
+        p = prob_all_good(1e-6, 10_000_000)
+        assert p == pytest.approx(math.exp(-10.000005), rel=1e-9)
+        # Astronomically unlikely cases underflow cleanly to 0, not NaN.
+        assert prob_all_good(0.01, 1_000_000) == 0.0
+
+    def test_prob_all_good_edges(self):
+        assert prob_all_good(0.0, 10**9) == 1.0
+        assert prob_all_good(1.0, 5) == 0.0
+        assert prob_all_good(1.0, 0) == 1.0
+
+    def test_prob_at_most_k(self):
+        assert prob_at_most_k_faulty(0.5, 2, 2) == pytest.approx(1.0)
+        assert prob_at_most_k_faulty(0.5, 2, 0) == pytest.approx(0.25)
+        assert prob_at_most_k_faulty(0.5, 2, -1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_faulty_cells(1.5, 10)
+        with pytest.raises(ConfigurationError):
+            prob_all_good(0.5, -1)
+
+
+class TestMemoryYieldReport:
+    @pytest.fixture(scope="class")
+    def memories(self, tech):
+        from repro.mem import CellTables, base_architecture, config1_architecture
+
+        tables = CellTables.build(
+            technology=tech, vdd_grid=(0.65, 0.75, 0.85, 0.95),
+            n_samples=2000, use_cache=False,
+        )
+        synapses = [2000, 1000, 500]
+        return (
+            base_architecture(synapses, tables, vdd=0.65),
+            config1_architecture(synapses, tables, vdd=0.65, msb_in_8t=3),
+        )
+
+    def test_protection_cleans_the_msbs(self, memories):
+        plain, hybrid = memories
+        r_plain = memory_yield_report(plain, msb_significant=3)
+        r_hybrid = memory_yield_report(hybrid, msb_significant=3)
+        # The hybrid moves the significant bits into 8T cells: expected
+        # faulty MSB cells collapse and the MSB-clean yield jumps to ~1.
+        assert r_hybrid.expected_faulty_msb_cells < 1e-2 * (
+            r_plain.expected_faulty_msb_cells + 1e-30
+        )
+        assert r_hybrid.prob_msb_clean > 0.99
+        assert r_plain.prob_msb_clean < 0.5
+
+    def test_cell_accounting(self, memories):
+        plain, _ = memories
+        report = memory_yield_report(plain, msb_significant=3)
+        total_words = sum(b.n_words for b in plain.banks)
+        assert report.n_msb_cells == 3 * total_words
+        assert report.n_lsb_cells == 5 * total_words
+
+    def test_lsb_exposure_unchanged_by_hybrid(self, memories):
+        plain, hybrid = memories
+        r_plain = memory_yield_report(plain, msb_significant=3)
+        r_hybrid = memory_yield_report(hybrid, msb_significant=3)
+        assert r_hybrid.expected_faulty_lsb_cells == pytest.approx(
+            r_plain.expected_faulty_lsb_cells, rel=1e-6
+        )
+
+    def test_summary_format(self, memories):
+        report = memory_yield_report(memories[0])
+        assert "P(all MSBs clean)" in report.summary()
+
+    def test_validation(self, memories):
+        with pytest.raises(ConfigurationError):
+            memory_yield_report(memories[0], msb_significant=-1)

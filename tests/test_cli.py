@@ -1,0 +1,45 @@
+"""Tests of the command-line interface (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for cmd in ("characterize", "scaling", "hybrid", "sensitivity",
+                    "allocate"):
+            args = parser.parse_args([cmd] if cmd != "allocate"
+                                     else [cmd, "--max-drop", "2"])
+            assert args.command == cmd
+
+    def test_unknown_technology_fails_cleanly(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown technology"):
+            main(["characterize", "--tech", "ptm3000", "--samples", "2000"])
+
+
+class TestCharacterizeCommand:
+    def test_characterize_prints_table(self, capsys, tmp_cache):
+        exit_code = main(["characterize", "--cell", "6t", "--samples", "2000"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "P(read acc)" in out
+        assert "0.95" in out
+        assert "um^2" in out
+
+    def test_characterize_8t(self, capsys, tmp_cache):
+        exit_code = main(["characterize", "--cell", "8t", "--samples", "2000"])
+        assert exit_code == 0
+        assert "8T cell" in capsys.readouterr().out

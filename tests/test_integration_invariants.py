@@ -1,0 +1,127 @@
+"""Cross-module integration invariants.
+
+These tests pin down relationships that hold *between* subsystems —
+exactly the places where refactoring one module can silently skew the
+paper's numbers without any unit test noticing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import (
+    CellTables,
+    HybridBank,
+    WordFormat,
+    base_architecture,
+    compare_architectures,
+    config1_architecture,
+    config2_architecture,
+)
+
+SYNAPSES = [1500, 800, 300]
+
+
+@pytest.fixture(scope="module")
+def tables(tech):
+    return CellTables.build(
+        technology=tech, vdd_grid=(0.65, 0.75, 0.85, 0.95),
+        n_samples=2000, use_cache=False,
+    )
+
+
+class TestConfigEquivalences:
+    def test_config1_is_uniform_config2(self, tables):
+        """Config 1 with n MSBs must be *numerically identical* to
+        Config 2 with a uniform allocation of n."""
+        c1 = config1_architecture(SYNAPSES, tables, vdd=0.65, msb_in_8t=2)
+        c2 = config2_architecture(SYNAPSES, tables, vdd=0.65,
+                                  msb_per_layer=[2, 2, 2])
+        assert c1.area == pytest.approx(c2.area, rel=1e-12)
+        assert c1.access_power == pytest.approx(c2.access_power, rel=1e-12)
+        assert c1.leakage_power == pytest.approx(c2.leakage_power, rel=1e-12)
+        for b1, b2 in zip(c1.banks, c2.banks):
+            np.testing.assert_allclose(
+                b1.bit_error_rates(0.65).p_total,
+                b2.bit_error_rates(0.65).p_total,
+            )
+
+    def test_base_is_config1_with_zero_protection(self, tables):
+        base = base_architecture(SYNAPSES, tables, vdd=0.75)
+        c1 = config1_architecture(SYNAPSES, tables, vdd=0.75, msb_in_8t=0)
+        assert base.area == pytest.approx(c1.area, rel=1e-12)
+        assert base.access_power == pytest.approx(c1.access_power, rel=1e-12)
+
+    def test_architecture_aggregates_are_bank_sums(self, tables):
+        arch = config2_architecture(SYNAPSES, tables, vdd=0.65,
+                                    msb_per_layer=[1, 2, 3])
+        assert arch.area == pytest.approx(sum(b.area for b in arch.banks))
+        assert arch.leakage_power == pytest.approx(
+            sum(b.leakage_power(0.65) for b in arch.banks)
+        )
+        assert arch.n_words == sum(SYNAPSES)
+        assert arch.n_8t_cells + arch.n_6t_cells == 8 * sum(SYNAPSES)
+
+
+class TestComparisonAlgebra:
+    def test_reciprocal_consistency(self, tables):
+        """reduction(A vs B) and reduction(B vs A) must be reciprocal:
+        (1 - rAB) * (1 - rBA) == 1."""
+        a = config1_architecture(SYNAPSES, tables, vdd=0.65, msb_in_8t=3)
+        b = base_architecture(SYNAPSES, tables, vdd=0.75)
+        r_ab = compare_architectures(a, b)
+        r_ba = compare_architectures(b, a)
+        prod = ((1 - r_ab.access_power_reduction_pct / 100)
+                * (1 - r_ba.access_power_reduction_pct / 100))
+        assert prod == pytest.approx(1.0, rel=1e-9)
+
+    def test_area_overhead_transitivity(self, tables):
+        base = base_architecture(SYNAPSES, tables, vdd=0.75)
+        c1 = config1_architecture(SYNAPSES, tables, vdd=0.65, msb_in_8t=1)
+        c3 = config1_architecture(SYNAPSES, tables, vdd=0.65, msb_in_8t=3)
+        o1 = compare_architectures(c1, base).area_overhead_pct
+        o3 = compare_architectures(c3, base).area_overhead_pct
+        o13 = compare_architectures(c3, c1).area_overhead_pct
+        lhs = (1 + o3 / 100)
+        rhs = (1 + o1 / 100) * (1 + o13 / 100)
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestWordEnergyInterpolation:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(0, 8))
+    def test_hybrid_word_energy_is_linear_in_split(self, tables, n):
+        """A word's read energy must interpolate linearly between the
+        all-6T and all-8T endpoints as MSBs migrate to 8T cells."""
+        bank = HybridBank("b", 100, WordFormat(8, n), tables)
+        e6 = HybridBank("b", 100, WordFormat(8, 0), tables).read_energy_per_word(0.75)
+        e8 = HybridBank("b", 100, WordFormat(8, 8), tables).read_energy_per_word(0.75)
+        expected = e6 + (e8 - e6) * n / 8
+        assert bank.read_energy_per_word(0.75) == pytest.approx(expected, rel=1e-12)
+
+
+class TestFaultPipelineRoundtrip:
+    def test_full_protection_is_fault_free_end_to_end(self, tables):
+        """An all-8T memory at 0.65 V must leave the quantized image
+        untouched through the whole injection pipeline."""
+        from repro.nn import FeedforwardANN, NetworkSpec, quantize_network
+
+        net = FeedforwardANN(NetworkSpec(layer_sizes=(10, 8, 4), seed=1))
+        image = quantize_network(net)
+        arch = config1_architecture([8 * 10 + 8, 4 * 8 + 4], tables,
+                                    vdd=0.65, msb_in_8t=8)
+        injector = arch.fault_injector()
+        out = injector.inject(image, seed=3)
+        for clean, maybe in zip(image.weight_codes, out.weight_codes):
+            np.testing.assert_array_equal(clean, maybe)
+
+    def test_injection_preserves_word_width(self, tables):
+        from repro.nn import FeedforwardANN, NetworkSpec, quantize_network
+
+        net = FeedforwardANN(NetworkSpec(layer_sizes=(10, 8, 4), seed=1))
+        image = quantize_network(net)
+        arch = base_architecture([88, 36], tables, vdd=0.65)
+        out = arch.fault_injector().inject(image, seed=4)
+        for codes in out.weight_codes + out.bias_codes:
+            assert int(codes.max(initial=0)) <= image.fmt.code_mask

@@ -1,0 +1,73 @@
+"""Tests of the unit helpers and deterministic RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.rng import DEFAULT_SEED, derive_seed, ensure_rng, spawn
+
+
+class TestUnits:
+    def test_conversions(self):
+        assert units.mV(250) == pytest.approx(0.250)
+        assert units.uA(44) == pytest.approx(44e-6)
+        assert units.nA(3) == pytest.approx(3e-9)
+        assert units.pA(7) == pytest.approx(7e-12)
+        assert units.uW(9) == pytest.approx(9e-6)
+        assert units.nW(2) == pytest.approx(2e-9)
+        assert units.ns(1.5) == pytest.approx(1.5e-9)
+        assert units.ps(300) == pytest.approx(3e-10)
+        assert units.nm(22) == pytest.approx(22e-9)
+        assert units.um(0.5) == pytest.approx(5e-7)
+        assert units.fF(80) == pytest.approx(8e-14)
+        assert units.aF(50) == pytest.approx(5e-17)
+
+    def test_format_si_picks_prefix(self):
+        assert units.format_si(2.1e-6, "W") == "2.1 uW"
+        assert units.format_si(4.4e-8, "A") == "44 nA"
+        assert units.format_si(1.5e3, "Hz") == "1.5 kHz"
+        assert units.format_si(0.25, "V") == "250 mV"
+
+    def test_format_si_edge_cases(self):
+        assert units.format_si(0.0, "W") == "0 W"
+        assert "nan" in units.format_si(float("nan"), "W")
+        assert "inf" in units.format_si(float("inf"), "W")
+
+    def test_format_si_digits(self):
+        assert units.format_si(1.23456e-6, "W", digits=5) == "1.2346 uW"
+
+
+class TestRng:
+    def test_none_maps_to_default_seed(self):
+        a = ensure_rng(None).integers(0, 1 << 30, 8)
+        b = ensure_rng(DEFAULT_SEED).integers(0, 1 << 30, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(5)
+        assert ensure_rng(gen) is gen
+
+    def test_int_seed_deterministic(self):
+        np.testing.assert_array_equal(
+            ensure_rng(7).integers(0, 100, 5), ensure_rng(7).integers(0, 100, 5)
+        )
+
+    def test_spawn_produces_independent_streams(self):
+        children = spawn(ensure_rng(1), 3)
+        draws = [c.integers(0, 1 << 30, 4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(1), -1)
+
+    def test_derive_seed_stable_and_order_sensitive(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+        assert derive_seed(1, 2) != derive_seed(1, 2, 0)
+
+    def test_derive_seed_skips_none_components(self):
+        assert derive_seed(1, None, 2) == derive_seed(1, 2)
+
+    def test_derive_seed_from_none_base(self):
+        assert derive_seed(None, 1) == derive_seed(DEFAULT_SEED, 1)
