@@ -5,19 +5,36 @@ publication quality (20k Monte-Carlo samples, 5 fault trials).  Both are
 disk-cached under ``.repro_cache/``, so the first benchmark run pays the
 training/Monte-Carlo cost and subsequent runs start immediately.
 
+Two environment knobs tune the harness without editing code:
+
+* ``REPRO_BENCH_SAMPLES`` — Monte-Carlo samples per voltage point
+  (default 20000; CI's smoke job runs a reduced count).
+* ``REPRO_JOBS`` — worker processes for the characterization sweeps
+  (picked up by :class:`repro.runtime.SweepExecutor`; results are
+  bit-identical for any value).
+
 Every benchmark prints the regenerated paper table (so it lands in
-``bench_output.txt``) and also writes it to ``benchmarks/results/``.
+``bench_output.txt``) and also writes it to ``benchmarks/results/`` —
+as plain text always, and as a machine-readable JSON document whenever
+the benchmark hands ``emit`` structured rows (CI uploads those JSON
+files as build artifacts).
 """
 
+import json
 import os
+import time
 
 import pytest
 
 from repro.core import CircuitToSystemSimulator, train_benchmark_ann
 from repro.devices import ptm22
 from repro.mem import CellTables
+from repro.version import __version__
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Monte-Carlo samples per voltage point (env-tunable for CI smoke runs).
+BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "20000"))
 
 
 @pytest.fixture(scope="session")
@@ -34,7 +51,7 @@ def model():
 
 @pytest.fixture(scope="session")
 def tables(tech):
-    return CellTables.build(technology=tech, n_samples=20000)
+    return CellTables.build(technology=tech, n_samples=BENCH_SAMPLES)
 
 
 @pytest.fixture(scope="session")
@@ -44,14 +61,30 @@ def sim(model, tables):
 
 @pytest.fixture(scope="session")
 def emit():
-    """Print a named result block and persist it under benchmarks/results/."""
+    """Print a named result block and persist it under benchmarks/results/.
 
-    def _emit(name: str, text: str) -> None:
+    ``emit(name, text)`` writes ``<name>.txt``; passing structured rows
+    via ``emit(name, text, data=...)`` additionally writes ``<name>.json``
+    with run metadata, for machine consumption (CI artifacts, plotting).
+    """
+
+    def _emit(name: str, text: str, data=None) -> None:
         banner = f"\n===== {name} =====\n{text}\n"
         print(banner)
         os.makedirs(RESULTS_DIR, exist_ok=True)
         with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
             fh.write(text + "\n")
+        if data is not None:
+            document = {
+                "name": name,
+                "version": __version__,
+                "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "n_samples": BENCH_SAMPLES,
+                "profile": os.environ.get("REPRO_PROFILE", "fast"),
+                "data": data,
+            }
+            with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+                json.dump(document, fh, indent=1, sort_keys=True)
 
     return _emit
 

@@ -21,6 +21,7 @@ from repro.core import (
 )
 from repro.devices.technology import get_technology
 from repro.mem import CellTables
+from repro.runtime import ResultCache
 from repro.sram import characterize_cell
 from repro.sram.area import format_area
 from repro.units import format_si
@@ -35,14 +36,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="fault-injection trials per evaluation")
     parser.add_argument("--profile", default=None,
                         help="ANN profile: fast (default) or paper")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweeps (0 = all cores; "
+                             "default: REPRO_JOBS env var, else serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache (recompute and "
+                             "do not store)")
 
 
 def _build_sim(args) -> CircuitToSystemSimulator:
-    model = train_benchmark_ann(profile=args.profile)
+    model = train_benchmark_ann(profile=args.profile,
+                                use_cache=not args.no_cache)
     tables = CellTables.build(
-        technology=get_technology(args.tech), n_samples=args.samples
+        technology=get_technology(args.tech), n_samples=args.samples,
+        use_cache=not args.no_cache, jobs=args.jobs,
     )
-    return CircuitToSystemSimulator(model, tables=tables, n_trials=args.trials)
+    return CircuitToSystemSimulator(model, tables=tables, n_trials=args.trials,
+                                    jobs=args.jobs)
 
 
 def cmd_characterize(args) -> int:
@@ -50,6 +60,8 @@ def cmd_characterize(args) -> int:
         cell_kind=args.cell,
         technology=get_technology(args.tech),
         n_samples=args.samples,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
     )
     rows = [
         [p.vdd, f"{p.p_read_access:.3e}", f"{p.p_write:.3e}",
@@ -101,8 +113,10 @@ def cmd_hybrid(args) -> int:
 
 
 def cmd_sensitivity(args) -> int:
-    model = train_benchmark_ann(profile=args.profile)
-    profile = layer_sensitivity_profile(model, n_trials=args.trials)
+    model = train_benchmark_ann(profile=args.profile,
+                                use_cache=not args.no_cache)
+    profile = layer_sensitivity_profile(model, n_trials=args.trials,
+                                        jobs=args.jobs)
     print(profile.summary())
     print(f"aggregate ranking (most->least sensitive): {profile.ranking}")
     print(f"per-synapse ranking:                        "
@@ -118,6 +132,17 @@ def cmd_allocate(args) -> int:
     )
     print("Sensitivity-driven MSB allocation (paper Config 2):")
     print(result.summary())
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache = ResultCache()
+    if args.action == "stats":
+        print(cache.stats().summary())
+    else:  # clear
+        removed = cache.clear(namespace=args.namespace)
+        scope = f"namespace {args.namespace!r}" if args.namespace else "all namespaces"
+        print(f"removed {removed} cache entries ({scope}) from {cache.cache_dir}")
     return 0
 
 
@@ -155,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start-msb", type=int, default=3)
     _add_common(p)
     p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser("cache", help="inspect or clear the shared result cache")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--namespace", default=None,
+                   help="restrict 'clear' to one namespace "
+                        "(e.g. mc, cell, cellpoint, is, ann)")
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

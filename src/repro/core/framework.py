@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -48,7 +49,7 @@ from repro.nn.network import FeedforwardANN, NetworkSpec
 from repro.nn.quantize import QuantizedWeights, quantize_network
 from repro.nn.trainer import SGDTrainer
 from repro.rng import SeedLike
-from repro.sram.characterize import default_cache_dir
+from repro.runtime import default_cache_dir
 
 
 def paper_ann_spec(seed: int = 0) -> NetworkSpec:
@@ -203,14 +204,50 @@ class CircuitToSystemSimulator:
         n_trials: int = 5,
         include_write_failures: bool = True,
         include_read_disturb: bool = True,
+        jobs: Optional[int] = None,
     ):
         if n_trials <= 0:
             raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
         self.model = model
-        self.tables = tables or CellTables.build()
+        self.tables = tables or CellTables.build(jobs=jobs)
         self.n_trials = n_trials
         self.include_write_failures = include_write_failures
         self.include_read_disturb = include_read_disturb
+        #: Default worker count for the studies built on this simulator
+        #: (``None`` = honour ``REPRO_JOBS``, else serial); individual
+        #: sweeps may override it with their own ``jobs`` argument.
+        self.jobs = jobs
+
+    def sweep_jobs(self, jobs: Optional[int] = None) -> Optional[int]:
+        """Resolve a per-sweep ``jobs`` override against the simulator
+        default."""
+        return jobs if jobs is not None else self.jobs
+
+    def worker_clone(self) -> "CircuitToSystemSimulator":
+        """A copy that is cheap to ship to sweep workers.
+
+        Evaluation only ever reads the *test* split, but the training
+        and validation arrays dominate the simulator's pickled size
+        (~5x); the clone replaces them with empty arrays so process
+        fan-out doesn't serialize megabytes of unused data.  Results
+        are unaffected.
+        """
+        ds = self.model.dataset
+        pruned_dataset = dataclasses.replace(
+            ds,
+            x_train=ds.x_train[:0], y_train=ds.y_train[:0],
+            x_val=ds.x_val[:0], y_val=ds.y_val[:0],
+        )
+        pruned_model = dataclasses.replace(self.model, dataset=pruned_dataset)
+        clone = CircuitToSystemSimulator(
+            pruned_model,
+            tables=self.tables,
+            n_trials=self.n_trials,
+            include_write_failures=self.include_write_failures,
+            include_read_disturb=self.include_read_disturb,
+        )
+        clone.jobs = self.jobs
+        return clone
 
     # ------------------------------------------------------------------
     # Architecture construction bound to this model's bank sizes

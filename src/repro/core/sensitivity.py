@@ -21,7 +21,8 @@ ranking measures the *network's* structure, not a particular SRAM.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from functools import partial
+from typing import Optional
 
 import numpy as np
 
@@ -30,7 +31,10 @@ from repro.errors import ConfigurationError
 from repro.fault.evaluate import evaluate_under_faults
 from repro.fault.injector import WeightFaultInjector
 from repro.fault.model import BitErrorRates
-from repro.rng import SeedLike, derive_seed
+from repro.nn.network import FeedforwardANN
+from repro.nn.quantize import QuantizedWeights
+from repro.rng import SeedLike, derive_seed, resolve_seed
+from repro.runtime import SweepExecutor
 
 #: Default stress BER for the ranking; strong enough to separate the
 #: small output bank from the noise floor, weak enough to keep every
@@ -135,25 +139,59 @@ def _zero_rates(n_bits: int) -> BitErrorRates:
     )
 
 
+def _layer_point(
+    network: FeedforwardANN,
+    image: QuantizedWeights,
+    x_eval: np.ndarray,
+    y_eval: np.ndarray,
+    stress_ber: float,
+    n_trials: int,
+    base_seed: int,
+    target: int,
+) -> LayerSensitivity:
+    """Worker entry point: stress one layer, measure the accuracy drop."""
+    n_bits = image.fmt.n_bits
+    n_layers = image.n_layers
+    rates = [
+        _uniform_rates(n_bits, stress_ber) if i == target else _zero_rates(n_bits)
+        for i in range(n_layers)
+    ]
+    injector = WeightFaultInjector(rates)
+    result = evaluate_under_faults(
+        network, image, injector, x_eval, y_eval,
+        n_trials=n_trials, seed=derive_seed(base_seed, target),
+    )
+    return LayerSensitivity(
+        layer_index=target,
+        n_synapses=image.layer_synapse_count(target),
+        baseline_accuracy=result.baseline_accuracy,
+        stressed_accuracy=result.mean_accuracy,
+    )
+
+
 def layer_sensitivity_profile(
     model: TrainedModel,
     stress_ber: float = DEFAULT_STRESS_BER,
     n_trials: int = 5,
     seed: SeedLike = None,
     eval_samples: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> SensitivityProfile:
     """Measure the per-layer sensitivity ranking of a trained model.
 
     One layer at a time receives a uniform ``stress_ber`` over all bit
     positions while every other layer stays clean; the accuracy drop is
     averaged over ``n_trials`` fault samples.  ``eval_samples`` limits
-    the evaluation set for speed (default: the full test split).
+    the evaluation set for speed (default: the full test split).  The
+    per-layer stresses are independent and seeded by the target layer,
+    so ``jobs`` fans them across a worker pool (each worker receives
+    only the network, the weight image and the evaluation split — not
+    the training data) with bit-identical results.
     """
     if not 0.0 < stress_ber <= 1.0:
         raise ConfigurationError(
             f"stress_ber must lie in (0, 1], got {stress_ber}"
         )
-    n_bits = model.image.fmt.n_bits
     n_layers = model.image.n_layers
     x_eval = model.dataset.x_test
     y_eval = model.dataset.y_test
@@ -161,23 +199,9 @@ def layer_sensitivity_profile(
         x_eval = x_eval[:eval_samples]
         y_eval = y_eval[:eval_samples]
 
-    layers = []
-    for target in range(n_layers):
-        rates = [
-            _uniform_rates(n_bits, stress_ber) if i == target else _zero_rates(n_bits)
-            for i in range(n_layers)
-        ]
-        injector = WeightFaultInjector(rates)
-        result = evaluate_under_faults(
-            model.network, model.image, injector, x_eval, y_eval,
-            n_trials=n_trials, seed=derive_seed(seed, target),
-        )
-        layers.append(
-            LayerSensitivity(
-                layer_index=target,
-                n_synapses=model.image.layer_synapse_count(target),
-                baseline_accuracy=result.baseline_accuracy,
-                stressed_accuracy=result.mean_accuracy,
-            )
-        )
+    worker = partial(
+        _layer_point, model.network, model.image, x_eval, y_eval,
+        stress_ber, n_trials, resolve_seed(seed),
+    )
+    layers = SweepExecutor(jobs).map(worker, range(n_layers))
     return SensitivityProfile(stress_ber=stress_ber, layers=tuple(layers))

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fault.bitflip import apply_flip_mask, count_flipped_bits, random_flip_mask

@@ -39,8 +39,14 @@ class CellTables:
         seed: int = DEFAULT_SEED,
         use_cache: bool = True,
         cache_dir: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> "CellTables":
-        """Characterize both cells (cached) with the shared 6T budget."""
+        """Characterize both cells (cached) with the shared 6T budget.
+
+        ``jobs`` fans the Monte-Carlo voltage points of each table
+        across a worker pool; the tables are bit-identical for any
+        worker count.
+        """
         tech = technology or ptm22()
         cell6 = make_cell("6t", tech)
         budget = nominal_read_cycle(
@@ -49,7 +55,7 @@ class CellTables:
         common = dict(
             technology=tech, vdd_grid=vdd_grid, rows=rows,
             n_samples=n_samples, seed=seed, read_cycle=budget,
-            use_cache=use_cache, cache_dir=cache_dir,
+            use_cache=use_cache, cache_dir=cache_dir, jobs=jobs,
         )
         return cls(
             table_6t=characterize_cell(cell_kind="6t", **common),

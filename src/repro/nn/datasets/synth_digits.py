@@ -18,7 +18,7 @@ uses to argue that input-layer synapses are comparatively resilient
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 from scipy import ndimage

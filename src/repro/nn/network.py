@@ -7,14 +7,14 @@ benchmark network (Table I) lives in :mod:`repro.core.framework`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.layers import DenseLayer
-from repro.rng import SeedLike, derive_seed
+from repro.rng import derive_seed
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,22 @@ def spawn(rng: np.random.Generator, n: int) -> list:
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
+def resolve_seed(seed: SeedLike = None) -> int:
+    """Collapse a :data:`SeedLike` to a concrete integer seed.
+
+    ``None`` maps to :data:`DEFAULT_SEED`; a generator is consumed
+    *once* for a single draw.  Sweeps resolve their base seed up front
+    so that every point's derived stream depends only on the point
+    itself — never on evaluation order or worker count — which is what
+    makes parallel runs bit-identical to serial ones.
+    """
+    if seed is None:
+        return DEFAULT_SEED
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**31 - 1))
+    return int(seed)
+
+
 def derive_seed(base: SeedLike, *components: Optional[int]) -> int:
     """Derive a stable integer seed from a base seed plus integer tags.
 

@@ -1,0 +1,37 @@
+"""Shared sweep runtime: parallel execution and result caching.
+
+Every headline artifact of the paper (Fig. 5 failure-vs-VDD curves, the
+Fig. 8 hybrid study, the Fig. 9 sensitivity ranking) is an
+embarrassingly-parallel sweep over independent points.  This subpackage
+provides the two pieces of infrastructure those sweeps share:
+
+* :class:`~repro.runtime.executor.SweepExecutor` — fans sweep points
+  across a ``spawn``-based process pool while guaranteeing results are
+  bit-identical to a serial run regardless of worker count or
+  completion order (every point carries its own derived seed).
+* :class:`~repro.runtime.cache.ResultCache` — a content-addressed JSON
+  store (key = SHA-256 of everything that affects the numbers, plus a
+  schema version) with atomic writes, so concurrent sweeps can share a
+  cache directory and a version bump invalidates stale results.
+
+The SRAM characterization, the circuit-to-system studies, the CLI
+(``--jobs`` / ``--no-cache`` on every subcommand) and the benchmark
+harness are all built on these two primitives.
+"""
+
+from repro.runtime.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.runtime.executor import SweepExecutor, resolve_jobs
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "SweepExecutor",
+    "default_cache_dir",
+    "resolve_jobs",
+]

@@ -1,0 +1,249 @@
+"""Content-addressed result cache shared by every sweep in the library.
+
+The cache stores one JSON document per *result*, addressed by the
+SHA-256 digest of everything that could change the numbers: the
+namespace (what kind of result), the caller-supplied payload (cell
+fingerprint, voltage, sample count, seed, …) and a schema version.
+Bumping :data:`CACHE_VERSION` — or the per-call ``version`` — therefore
+invalidates every stale entry without touching the filesystem: old
+files simply stop being addressed and can be reaped with
+``repro-sram cache clear``.
+
+Writes are atomic (temp file + :func:`os.replace` in the same
+directory), so concurrent sweep workers and even concurrent *processes*
+can share one cache directory: a reader sees either the complete old
+document or the complete new one, never a torn write.  Corrupt or
+foreign files are treated as misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+#: Global cache-schema version.  Bump when the meaning of cached values
+#: changes (new fields, changed physics) to invalidate every entry at
+#: once; per-namespace revisions belong in the caller's payload.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> str:
+    """Cache directory (override with the ``REPRO_CACHE_DIR`` env var)."""
+    return os.environ.get("REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache"))
+
+
+def _canonical(obj: Any) -> Any:
+    """JSON fallback for payload canonicalization.
+
+    Accepts the few non-JSON types that appear in cache payloads (numpy
+    scalars/arrays, tuples via json's list coercion) and rejects
+    anything whose repr is not stable across runs.
+    """
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):  # numpy scalar
+        return obj.item()
+    if hasattr(obj, "tolist"):  # numpy array
+        return obj.tolist()
+    raise TypeError(
+        f"cache payload contains an unhashable value of type {type(obj).__name__}: "
+        f"{obj!r}"
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache directory plus this process's hit counters."""
+
+    cache_dir: str
+    entries: int
+    total_bytes: int
+    by_namespace: Dict[str, int] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def summary(self) -> str:
+        lines = [
+            f"cache dir : {self.cache_dir}",
+            f"entries   : {self.entries}",
+            f"size      : {self.total_bytes / 1e6:.2f} MB",
+            f"session   : {self.hits} hits / {self.misses} misses",
+        ]
+        for ns in sorted(self.by_namespace):
+            lines.append(f"  {ns:<12s} {self.by_namespace[ns]} entries")
+        return "\n".join(lines)
+
+
+class ResultCache:
+    """Content-addressed JSON store with atomic writes.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for cache files; defaults to :func:`default_cache_dir`.
+    enabled:
+        When False every ``get`` misses and every ``put`` is a no-op —
+        the hook behind the CLI's ``--no-cache``.
+    version:
+        Schema version folded into every key; see :data:`CACHE_VERSION`.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        enabled: bool = True,
+        version: int = CACHE_VERSION,
+    ):
+        self.cache_dir = cache_dir or default_cache_dir()
+        self.enabled = enabled
+        self.version = int(version)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def key(self, namespace: str, payload: Dict[str, Any]) -> str:
+        """SHA-256 content address of ``(namespace, version, payload)``."""
+        blob = json.dumps(
+            {"namespace": namespace, "version": self.version, "payload": payload},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=_canonical,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+    def path(self, namespace: str, payload: Dict[str, Any]) -> str:
+        """Filesystem path of the entry addressed by ``payload``."""
+        return os.path.join(
+            self.cache_dir, f"{namespace}-{self.key(namespace, payload)}.json"
+        )
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, payload: Dict[str, Any]) -> Optional[Any]:
+        """Cached value for ``payload``, or None on any kind of miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        try:
+            with open(self.path(namespace, payload)) as fh:
+                document = json.load(fh)
+            value = document["value"]
+        # ValueError covers JSONDecodeError and UnicodeDecodeError;
+        # TypeError/KeyError cover well-formed JSON that is not a
+        # put()-shaped document.  All are misses, not errors.
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, namespace: str, payload: Dict[str, Any], value: Any) -> None:
+        """Atomically store ``value`` under the address of ``payload``.
+
+        Concurrent writers of the same key are safe: each writes a
+        private temp file and the final :func:`os.replace` is atomic, so
+        readers always observe a complete document (last writer wins —
+        and every writer of one key produces identical bytes anyway,
+        since the key captures everything that determines the value).
+        """
+        if not self.enabled:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        document = {
+            "namespace": namespace,
+            "cache_version": self.version,
+            "payload": payload,
+            "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "value": value,
+        }
+        text = json.dumps(document, sort_keys=True, default=_canonical, indent=1)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=f".{namespace}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp_path, self.path(namespace, payload))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def get_or_compute(
+        self,
+        namespace: str,
+        payload: Dict[str, Any],
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        value = self.get(namespace, payload)
+        if value is None:
+            value = compute()
+            self.put(namespace, payload, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Maintenance (the ``repro-sram cache`` subcommand)
+    # ------------------------------------------------------------------
+    def _entries(self) -> list:
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return []
+        return [
+            name for name in names
+            if not name.startswith(".")
+            and os.path.isfile(os.path.join(self.cache_dir, name))
+        ]
+
+    @staticmethod
+    def _namespace_of(filename: str) -> str:
+        stem = filename.rsplit(".", 1)[0]
+        for sep in ("-", "_"):  # "_" covers legacy cell_*/ann_* entries
+            if sep in stem:
+                return stem.split(sep, 1)[0]
+        return stem
+
+    def stats(self) -> CacheStats:
+        """Count entries and bytes (legacy ``cell_``/``ann_`` files included)."""
+        by_namespace: Dict[str, int] = {}
+        total_bytes = 0
+        entries = self._entries()
+        for name in entries:
+            by_namespace[self._namespace_of(name)] = (
+                by_namespace.get(self._namespace_of(name), 0) + 1
+            )
+            try:
+                total_bytes += os.path.getsize(os.path.join(self.cache_dir, name))
+            except OSError:
+                pass
+        return CacheStats(
+            cache_dir=self.cache_dir,
+            entries=len(entries),
+            total_bytes=total_bytes,
+            by_namespace=by_namespace,
+            hits=self.hits,
+            misses=self.misses,
+        )
+
+    def clear(self, namespace: Optional[str] = None) -> int:
+        """Delete cached entries (all of them, or one namespace). Returns
+        the number of files removed."""
+        removed = 0
+        for name in self._entries():
+            if namespace is not None and self._namespace_of(name) != namespace:
+                continue
+            try:
+                os.unlink(os.path.join(self.cache_dir, name))
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -4,9 +4,17 @@ The circuit-to-system pipeline repeatedly needs, for each cell type and
 each candidate supply voltage: failure probabilities (read access,
 write, read disturb), access energies/powers, leakage and cycle time.
 :func:`characterize_cell` runs the Monte-Carlo + power models across a
-voltage grid once and caches the resulting table as JSON under
-``.repro_cache/`` (keyed by every parameter that affects the numbers),
-so system-level experiments start instantly after the first run.
+voltage grid once and caches the results in the shared
+content-addressed :class:`~repro.runtime.ResultCache` (keyed by every
+parameter that affects the numbers), so system-level experiments start
+instantly after the first run.
+
+Caching happens at two granularities: the whole table (namespace
+``cell``) and each voltage point (namespace ``cellpoint``).  Per-point
+entries survive changes to the *grid* — characterizing a superset grid
+reuses every already-computed point — and the independent points fan
+out across a :class:`~repro.runtime.SweepExecutor` worker pool when
+``jobs`` asks for parallelism.
 
 The cached table interpolates between grid points: probabilities in
 log-space (they span decades), energies/powers in linear space.
@@ -14,22 +22,30 @@ log-space (they span decades), energies/powers in linear space.
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
 from dataclasses import asdict, dataclass
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.rng import DEFAULT_SEED
+from repro.rng import DEFAULT_SEED, resolve_seed
+from repro.runtime import ResultCache, SweepExecutor, default_cache_dir
 from repro.sram.area import bitcell_area
 from repro.sram.bitcell import BitcellBase, make_cell
 from repro.sram.montecarlo import MonteCarloAnalyzer
 from repro.sram.power import cell_power
 from repro.sram.read_path import BitlineModel, nominal_read_cycle
 from repro.devices.technology import Technology, ptm22
+
+__all__ = [
+    "DEFAULT_VDD_GRID",
+    "CellCharacterization",
+    "CharacterizationPoint",
+    "characterize_cell",
+    "default_cache_dir",
+]
 
 #: The paper's voltage range (0.65-0.95 V) plus one margin point below.
 DEFAULT_VDD_GRID = (0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95)
@@ -101,48 +117,60 @@ class CellCharacterization:
             cycle_time=self._interp(vdd, "cycle_time", log_space=False),
         )
 
-    def to_json(self) -> str:
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable form (used by the shared result cache)."""
         payload = asdict(self)
         payload["points"] = [asdict(p) for p in self.points]
-        return json.dumps(payload, indent=1, sort_keys=True)
+        return payload
 
     @classmethod
-    def from_json(cls, text: str) -> "CellCharacterization":
-        payload = json.loads(text)
+    def from_payload(cls, payload: Dict[str, Any]) -> "CellCharacterization":
+        payload = dict(payload)
         points = tuple(CharacterizationPoint(**p) for p in payload.pop("points"))
         return cls(points=points, **payload)
 
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), indent=1, sort_keys=True)
 
-def default_cache_dir() -> str:
-    """Cache directory (override with the ``REPRO_CACHE_DIR`` env var)."""
-    return os.environ.get("REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache"))
+    @classmethod
+    def from_json(cls, text: str) -> "CellCharacterization":
+        return cls.from_payload(json.loads(text))
 
 
-def _cache_key(
-    cell: BitcellBase, rows: int, n_samples: int, seed: int,
-    vdd_grid: Sequence[float], read_cycle: Optional[float]
-) -> str:
-    blob = json.dumps(
-        {
-            "tech": cell.technology.name,
-            "kind": cell.kind,
-            "sizing": asdict(cell.sizing),
-            "sigma_vt0": cell.technology.sigma_vt0,
-            "rows": rows,
-            "n_samples": n_samples,
-            "seed": seed,
-            "vdds": list(map(float, vdd_grid)),
-            "read_cycle": read_cycle,
-            "rev": 3,  # bump to invalidate caches after model changes
-        },
-        sort_keys=True,
+def _characterize_point(
+    analyzer: MonteCarloAnalyzer, rows: int, vdd: float
+) -> CharacterizationPoint:
+    """Worker entry point: Monte-Carlo + power models at one voltage."""
+    rates = analyzer.analyze(vdd)
+    power = cell_power(analyzer.cell, vdd, rows=rows, cols=rows)
+    return CharacterizationPoint(
+        vdd=float(vdd),
+        p_read_access=rates.p_read_access,
+        p_write=rates.p_write,
+        p_read_disturb=rates.p_read_disturb,
+        p_cell=rates.p_cell,
+        read_energy=power.read_energy,
+        write_energy=power.write_energy,
+        read_power=power.read_power,
+        write_power=power.write_power,
+        leakage_power=power.leakage_power,
+        cycle_time=power.cycle_time,
     )
-    return hashlib.md5(blob.encode()).hexdigest()[:16]
+
+
+def _point_payload(
+    analyzer: MonteCarloAnalyzer, rows: int, vdd: float
+) -> Dict[str, Any]:
+    """Cache address of one characterization point (MC + power models)."""
+    payload = analyzer.cache_payload(vdd)
+    payload["rows"] = int(rows)
+    payload["power_rev"] = 1  # bump to invalidate after power-model changes
+    return payload
 
 
 def characterize_cell(
     cell_kind: str = "6t",
-    technology: Technology = None,
+    technology: Optional[Technology] = None,
     vdd_grid: Sequence[float] = DEFAULT_VDD_GRID,
     rows: int = 256,
     n_samples: int = 20000,
@@ -151,24 +179,27 @@ def characterize_cell(
     cell: Optional[BitcellBase] = None,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> CellCharacterization:
-    """Characterize a cell over a voltage grid (cached).
+    """Characterize a cell over a voltage grid (cached, parallelizable).
 
     Parameters mirror :class:`~repro.sram.montecarlo.MonteCarloAnalyzer`;
     pass ``cell`` to characterize a custom-sized cell, otherwise the
     default-sized cell of ``cell_kind`` is used.  ``read_cycle`` lets the
     hybrid architecture impose the 6T timing budget on the 8T cell.
+    ``jobs`` fans uncached voltage points across a worker pool and
+    ``cache`` overrides the default shared result store; the table is
+    bit-identical for every (jobs, cache) combination.
     """
     tech = technology or ptm22()
     the_cell = cell if cell is not None else make_cell(cell_kind, tech)
     if sorted(vdd_grid) != list(vdd_grid):
         raise ConfigurationError("vdd_grid must be sorted ascending")
 
-    key = _cache_key(the_cell, rows, n_samples, seed, vdd_grid, read_cycle)
-    cache_path = os.path.join(cache_dir or default_cache_dir(), f"cell_{key}.json")
-    if use_cache and os.path.exists(cache_path):
-        with open(cache_path) as fh:
-            return CellCharacterization.from_json(fh.read())
+    store = cache if cache is not None else ResultCache(
+        cache_dir=cache_dir, enabled=use_cache
+    )
 
     bitline = BitlineModel(tech, rows=rows).for_cell(the_cell)
     budget = read_cycle if read_cycle is not None else nominal_read_cycle(
@@ -176,40 +207,53 @@ def characterize_cell(
     )
     analyzer = MonteCarloAnalyzer(
         cell=the_cell, n_samples=n_samples, bitline=bitline,
-        seed=seed, read_cycle=budget,
-    )
+        seed=resolve_seed(seed), read_cycle=budget,
+    ).resolved()
 
-    points: List[CharacterizationPoint] = []
-    for vdd in vdd_grid:
-        rates = analyzer.analyze(vdd)
-        power = cell_power(the_cell, vdd, rows=rows, cols=rows)
-        points.append(
-            CharacterizationPoint(
-                vdd=float(vdd),
-                p_read_access=rates.p_read_access,
-                p_write=rates.p_write,
-                p_read_disturb=rates.p_read_disturb,
-                p_cell=rates.p_cell,
-                read_energy=power.read_energy,
-                write_energy=power.write_energy,
-                read_power=power.read_power,
-                write_power=power.write_power,
-                leakage_power=power.leakage_power,
-                cycle_time=power.cycle_time,
-            )
+    table_payload = {
+        "technology": asdict(tech),
+        "kind": the_cell.kind,
+        "sizing": asdict(the_cell.sizing),
+        "rows": int(rows),
+        "n_samples": int(n_samples),
+        "seed": analyzer.seed,
+        "vdds": [float(v) for v in vdd_grid],
+        "read_cycle": budget,
+        "rev": 4,  # bump to invalidate caches after model changes
+    }
+    hit = store.get("cell", table_payload)
+    if hit is not None:
+        return CellCharacterization.from_payload(hit)
+
+    # Serve individually-cached points, then fan the misses across the
+    # worker pool; per-point entries make grid changes cheap (a superset
+    # grid recomputes only the new voltages).
+    points: Dict[int, CharacterizationPoint] = {}
+    missing: List[Tuple[int, float]] = []
+    for i, vdd in enumerate(vdd_grid):
+        point_hit = store.get("cellpoint", _point_payload(analyzer, rows, vdd))
+        if point_hit is not None:
+            points[i] = CharacterizationPoint(**point_hit)
+        else:
+            missing.append((i, float(vdd)))
+
+    if missing:
+        computed = SweepExecutor(jobs).map(
+            partial(_characterize_point, analyzer, rows),
+            [v for _, v in missing],
         )
+        for (i, vdd), point in zip(missing, computed):
+            points[i] = point
+            store.put("cellpoint", _point_payload(analyzer, rows, vdd), asdict(point))
 
     table = CellCharacterization(
         cell_kind=the_cell.kind,
         technology=tech.name,
         rows=rows,
         n_samples=n_samples,
-        seed=int(seed),
+        seed=analyzer.seed,
         area=bitcell_area(the_cell),
-        points=tuple(points),
+        points=tuple(points[i] for i in range(len(points))),
     )
-    if use_cache:
-        os.makedirs(os.path.dirname(cache_path), exist_ok=True)
-        with open(cache_path, "w") as fh:
-            fh.write(table.to_json())
+    store.put("cell", table_payload, table.to_payload())
     return table

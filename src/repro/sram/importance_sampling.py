@@ -21,13 +21,15 @@ yield statements).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.rng import SeedLike, ensure_rng
+from repro.rng import SeedLike, derive_seed, ensure_rng, resolve_seed
+from repro.runtime import ResultCache, SweepExecutor
 from repro.sram.bitcell import BitcellBase
 from repro.sram.failures import FailureType, compute_failure_margins
 from repro.sram.read_path import BitlineModel, nominal_read_cycle
@@ -50,6 +52,28 @@ class ImportanceSamplingResult:
             f"p = {self.probability:.3e} "
             f"(rel. err. {100 * self.relative_error:.1f}%, "
             f"{self.n_samples} samples)"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (used by the shared result cache)."""
+        return {
+            "vdd": self.vdd,
+            "failure_type": self.failure_type.value,
+            "probability": self.probability,
+            "relative_error": self.relative_error,
+            "n_samples": self.n_samples,
+            "shift_sigmas": np.asarray(self.shift_sigmas).tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ImportanceSamplingResult":
+        return cls(
+            vdd=float(payload["vdd"]),
+            failure_type=FailureType(payload["failure_type"]),
+            probability=float(payload["probability"]),
+            relative_error=float(payload["relative_error"]),
+            n_samples=int(payload["n_samples"]),
+            shift_sigmas=np.asarray(payload["shift_sigmas"], dtype=float),
         )
 
 
@@ -181,3 +205,87 @@ class ImportanceSampler:
             n_samples=n_samples,
             shift_sigmas=shift_sigmas,
         )
+
+    # ------------------------------------------------------------------
+    def _point_payload(
+        self, vdd: float, failure_type: FailureType, n_samples: int,
+        seed: int, max_shift_sigma: float,
+    ) -> Dict[str, Any]:
+        """Cache address of one importance-sampled estimate."""
+        return {
+            "technology": asdict(self.cell.technology),
+            "kind": self.cell.kind,
+            "sizing": asdict(self.cell.sizing),
+            "bitline": {
+                "rows": self.bitline.rows,
+                "port_width": self.bitline.port_width,
+            },
+            "read_cycle": self.read_cycle,
+            "failure_type": failure_type.value,
+            "n_samples": int(n_samples),
+            "seed": int(seed),
+            "max_shift_sigma": float(max_shift_sigma),
+            "vdd": float(vdd),
+            "rev": 1,  # bump to invalidate cached IS results
+        }
+
+    def estimate_sweep(
+        self,
+        vdds: Sequence[float],
+        failure_type: FailureType = FailureType.READ_ACCESS,
+        n_samples: int = 20000,
+        seed: SeedLike = None,
+        max_shift_sigma: float = 12.0,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> List[ImportanceSamplingResult]:
+        """Importance-sampled estimates across a voltage sweep.
+
+        Each point derives its own seed from the (once-resolved) base
+        seed and the voltage, so the sweep is bit-identical for any
+        ``jobs`` count; cached points skip recomputation entirely.
+        """
+        base_seed = resolve_seed(seed)
+        results: Dict[int, ImportanceSamplingResult] = {}
+        missing: List[Tuple[int, float]] = []
+        for i, vdd in enumerate(vdds):
+            hit = None
+            if cache is not None:
+                hit = cache.get("is", self._point_payload(
+                    vdd, failure_type, n_samples, base_seed, max_shift_sigma
+                ))
+            if hit is not None:
+                results[i] = ImportanceSamplingResult.from_dict(hit)
+            else:
+                missing.append((i, float(vdd)))
+
+        if missing:
+            computed = SweepExecutor(jobs).map(
+                partial(_estimate_point, self, failure_type, n_samples,
+                        base_seed, max_shift_sigma),
+                [v for _, v in missing],
+            )
+            for (i, vdd), result in zip(missing, computed):
+                results[i] = result
+                if cache is not None:
+                    cache.put(
+                        "is",
+                        self._point_payload(vdd, failure_type, n_samples,
+                                            base_seed, max_shift_sigma),
+                        result.to_dict(),
+                    )
+        return [results[i] for i in range(len(results))]
+
+
+def _estimate_point(
+    sampler: "ImportanceSampler", failure_type: FailureType, n_samples: int,
+    base_seed: int, max_shift_sigma: float, vdd: float,
+) -> ImportanceSamplingResult:
+    """Worker entry point: one importance-sampled voltage point."""
+    return sampler.estimate(
+        vdd,
+        failure_type=failure_type,
+        n_samples=n_samples,
+        seed=derive_seed(base_seed, int(round(vdd * 1e6))),
+        max_shift_sigma=max_shift_sigma,
+    )

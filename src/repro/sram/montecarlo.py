@@ -20,14 +20,16 @@ curves of the paper's Fig. 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from dataclasses import asdict, dataclass, field, replace
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.stats import norm
 
 from repro.errors import ConfigurationError
-from repro.rng import SeedLike, derive_seed, ensure_rng
+from repro.rng import SeedLike, derive_seed, ensure_rng, resolve_seed
+from repro.runtime import ResultCache, SweepExecutor
 from repro.sram.bitcell import BitcellBase
 from repro.sram.failures import (
     FailureMargins,
@@ -91,6 +93,23 @@ class FailureRates:
     @property
     def p_read_disturb(self) -> float:
         return self.estimate[FailureType.READ_DISTURB.value]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (used by the shared result cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FailureRates":
+        """Exact inverse of :meth:`to_dict` (floats round-trip bit-for-bit)."""
+        return cls(
+            vdd=float(payload["vdd"]),
+            n_samples=int(payload["n_samples"]),
+            empirical=dict(payload["empirical"]),
+            gaussian=dict(payload["gaussian"]),
+            estimate=dict(payload["estimate"]),
+            p_cell=float(payload["p_cell"]),
+            margin_stats={k: dict(v) for k, v in payload["margin_stats"].items()},
+        )
 
 
 @dataclass(frozen=True)
@@ -189,22 +208,122 @@ class MonteCarloAnalyzer:
             margin_stats=margin_statistics(margins),
         )
 
+    # ------------------------------------------------------------------
+    # Sweep support (parallel execution + result caching)
+    # ------------------------------------------------------------------
+    def resolved(self) -> "MonteCarloAnalyzer":
+        """A copy with the read-cycle budget and base seed pinned down.
+
+        Resolving both *before* a sweep fans out serves two purposes:
+        workers skip the (bisection-solved) nominal-delay computation,
+        and every point's derived seed depends only on the point — so a
+        parallel sweep is bit-identical to a serial one.
+        """
+        return replace(
+            self, read_cycle=self._read_cycle(), seed=resolve_seed(self.seed)
+        )
+
+    def cache_payload(self, vdd: float) -> Dict[str, Any]:
+        """Everything that determines :meth:`analyze`'s result at ``vdd``.
+
+        Must only be called on a :meth:`resolved` analyzer (integer seed,
+        concrete read cycle); the payload feeds the content-addressed
+        :class:`~repro.runtime.cache.ResultCache`.
+        """
+        bitline = None
+        if self.bitline is not None:
+            bitline = {
+                "rows": self.bitline.rows,
+                "port_width": self.bitline.port_width,
+            }
+        return {
+            "technology": asdict(self.cell.technology),
+            "kind": self.cell.kind,
+            "sizing": asdict(self.cell.sizing),
+            "bitline": bitline,
+            "read_cycle": self.read_cycle,
+            "n_samples": self.n_samples,
+            "seed": self.seed,
+            "vdd": float(vdd),
+            "rev": 1,  # bump to invalidate cached Monte-Carlo results
+        }
+
+    def analyze_many(
+        self, vdds: Sequence[float], seed: SeedLike = None
+    ) -> List[FailureRates]:
+        """Batch evaluation of a chunk of voltage points.
+
+        Amortizes analyzer setup (read-cycle resolution, seed
+        resolution) across the chunk; element ``i`` equals
+        ``self.analyze(vdds[i], seed=seed)`` bit-for-bit.
+        """
+        resolved = self if self.read_cycle is not None else self.resolved()
+        return [resolved.analyze(v, seed=seed) for v in vdds]
+
+    def analyze_sweep(
+        self,
+        vdds: Sequence[float],
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> List[FailureRates]:
+        """Evaluate many voltage points, optionally in parallel and cached.
+
+        Cached points are served without recomputation; the remaining
+        points are fanned across a :class:`~repro.runtime.SweepExecutor`
+        in chunks.  The returned list always matches a serial, uncached
+        ``[self.analyze(v) for v in vdds]`` bit-for-bit.
+        """
+        resolved = self.resolved()
+        results: Dict[int, FailureRates] = {}
+        missing: List[Tuple[int, float]] = []
+        for i, vdd in enumerate(vdds):
+            hit = None
+            if cache is not None:
+                hit = cache.get("mc", resolved.cache_payload(vdd))
+            if hit is not None:
+                results[i] = FailureRates.from_dict(hit)
+            else:
+                missing.append((i, float(vdd)))
+
+        if missing:
+            executor = SweepExecutor(jobs)
+            computed = executor.map_chunked(
+                partial(_analyze_chunk, resolved), [v for _, v in missing]
+            )
+            for (i, vdd), rates in zip(missing, computed):
+                results[i] = rates
+                if cache is not None:
+                    cache.put("mc", resolved.cache_payload(vdd), rates.to_dict())
+        return [results[i] for i in range(len(results))]
+
+
+def _analyze_chunk(
+    analyzer: MonteCarloAnalyzer, vdds: List[float]
+) -> List[FailureRates]:
+    """Worker entry point: one chunk of voltage points on one analyzer."""
+    return analyzer.analyze_many(vdds)
+
 
 def failure_rates_vs_vdd(
     cell: BitcellBase,
     vdds: Sequence[float],
     n_samples: int = 20000,
-    bitline: BitlineModel = None,
+    bitline: Optional[BitlineModel] = None,
     seed: SeedLike = None,
-    read_cycle: float = None,
-) -> list:
+    read_cycle: Optional[float] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[FailureRates]:
     """Sweep supply voltage and return a list of :class:`FailureRates`.
 
     This regenerates the data behind paper Fig. 5 (for the 6T cell) and
     the "8T failures are negligible in the voltage range of interest"
-    observation (for the 8T cell).
+    observation (for the 8T cell).  ``jobs`` fans the points across a
+    worker pool (``None`` honours ``REPRO_JOBS``, default serial) and
+    ``cache`` serves previously-computed points from the shared result
+    store; neither changes a single bit of the output.
     """
     analyzer = MonteCarloAnalyzer(
         cell=cell, n_samples=n_samples, bitline=bitline, seed=seed, read_cycle=read_cycle
     )
-    return [analyzer.analyze(v) for v in vdds]
+    return analyzer.analyze_sweep(vdds, jobs=jobs, cache=cache)

@@ -5,7 +5,6 @@ from dataclasses import replace
 import pytest
 
 from repro.devices.technology import (
-    MosfetParams,
     Technology,
     get_technology,
     ptm22,

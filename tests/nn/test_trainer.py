@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.nn import FeedforwardANN, NetworkSpec, SGDTrainer, accuracy
+from repro.nn import FeedforwardANN, NetworkSpec, SGDTrainer
 
 
 def two_blob_problem(n=400, seed=0):

@@ -1,0 +1,11 @@
+"""Runtime-test fixtures: keep the environment from leaking into the
+deterministic executor/cache behaviour under test."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_runtime_env(monkeypatch):
+    """Ignore an operator's REPRO_JOBS/REPRO_CACHE_DIR during these tests."""
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)

@@ -1,0 +1,210 @@
+"""Tests of the content-addressed result cache."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import ResultCache
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(cache_dir=str(tmp_path / "cache"))
+
+
+class TestAddressing:
+    def test_key_is_deterministic_across_instances(self, tmp_path):
+        a = ResultCache(cache_dir=str(tmp_path))
+        b = ResultCache(cache_dir=str(tmp_path))
+        payload = {"cell": "6t", "vdd": 0.7, "n": 1000}
+        assert a.key("mc", payload) == b.key("mc", payload)
+
+    def test_key_ignores_dict_order(self, cache):
+        assert cache.key("mc", {"a": 1, "b": 2}) == cache.key("mc", {"b": 2, "a": 1})
+
+    def test_key_differs_by_payload(self, cache):
+        assert cache.key("mc", {"vdd": 0.7}) != cache.key("mc", {"vdd": 0.75})
+
+    def test_key_differs_by_namespace(self, cache):
+        assert cache.key("mc", {"vdd": 0.7}) != cache.key("is", {"vdd": 0.7})
+
+    def test_numpy_values_canonicalized(self, cache):
+        assert cache.key("mc", {"vdd": np.float64(0.7)}) == \
+            cache.key("mc", {"vdd": 0.7})
+        assert cache.key("mc", {"grid": np.array([0.7, 0.8])}) == \
+            cache.key("mc", {"grid": [0.7, 0.8]})
+
+    def test_unserializable_payload_rejected(self, cache):
+        with pytest.raises(TypeError):
+            cache.key("mc", {"cell": object()})
+
+
+class TestRoundtrip:
+    def test_miss_returns_none(self, cache):
+        assert cache.get("mc", {"vdd": 0.7}) is None
+        assert cache.misses == 1
+
+    def test_put_then_get(self, cache):
+        value = {"p_cell": 1.25e-3, "stats": {"mu": 0.1}}
+        cache.put("mc", {"vdd": 0.7}, value)
+        assert cache.get("mc", {"vdd": 0.7}) == value
+        assert cache.hits == 1
+
+    def test_floats_roundtrip_bit_exact(self, cache):
+        value = {"p": 0.1 + 0.2, "tiny": 4.9e-324}
+        cache.put("mc", {"k": 1}, value)
+        got = cache.get("mc", {"k": 1})
+        assert got["p"] == value["p"]
+        assert got["tiny"] == value["tiny"]
+
+    def test_get_or_compute(self, cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 42}
+
+        assert cache.get_or_compute("mc", {"k": 1}, compute) == {"x": 42}
+        assert cache.get_or_compute("mc", {"k": 1}, compute) == {"x": 42}
+        assert len(calls) == 1
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.put("mc", {"k": 1}, {"x": 1})
+        with open(cache.path("mc", {"k": 1}), "w") as fh:
+            fh.write("{not json")
+        assert cache.get("mc", {"k": 1}) is None
+
+    def test_non_utf8_entry_is_a_miss(self, cache):
+        cache.put("mc", {"k": 1}, {"x": 1})
+        with open(cache.path("mc", {"k": 1}), "wb") as fh:
+            fh.write(b"\xff\xfe\x00garbage")
+        assert cache.get("mc", {"k": 1}) is None
+
+    def test_foreign_json_shape_is_a_miss(self, cache):
+        cache.put("mc", {"k": 1}, {"x": 1})
+        for foreign in ("[1, 2, 3]", '{"no": "value key"}', '"just a string"'):
+            with open(cache.path("mc", {"k": 1}), "w") as fh:
+                fh.write(foreign)
+            assert cache.get("mc", {"k": 1}) is None
+
+    def test_no_temp_files_left_behind(self, cache):
+        for i in range(5):
+            cache.put("mc", {"k": i}, {"x": i})
+        leftovers = [n for n in os.listdir(cache.cache_dir) if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestInvalidation:
+    def test_version_bump_invalidates(self, tmp_path):
+        d = str(tmp_path / "cache")
+        v1 = ResultCache(cache_dir=d, version=1)
+        v1.put("mc", {"k": 1}, {"x": 1})
+        assert v1.get("mc", {"k": 1}) == {"x": 1}
+
+        v2 = ResultCache(cache_dir=d, version=2)
+        assert v2.get("mc", {"k": 1}) is None
+        v2.put("mc", {"k": 1}, {"x": 2})
+        # Both versions remain independently addressable.
+        assert v1.get("mc", {"k": 1}) == {"x": 1}
+        assert v2.get("mc", {"k": 1}) == {"x": 2}
+
+    def test_disabled_cache_never_hits(self, tmp_path):
+        d = str(tmp_path / "cache")
+        off = ResultCache(cache_dir=d, enabled=False)
+        off.put("mc", {"k": 1}, {"x": 1})
+        assert off.get("mc", {"k": 1}) is None
+        on = ResultCache(cache_dir=d)
+        assert on.get("mc", {"k": 1}) is None  # put was a no-op
+
+
+class TestMaintenance:
+    def test_stats_counts_namespaces(self, cache):
+        cache.put("mc", {"k": 1}, {"x": 1})
+        cache.put("mc", {"k": 2}, {"x": 2})
+        cache.put("cell", {"k": 1}, {"x": 3})
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.by_namespace == {"mc": 2, "cell": 1}
+        assert stats.total_bytes > 0
+        assert "entries" in stats.summary()
+
+    def test_stats_counts_legacy_underscore_files(self, cache):
+        os.makedirs(cache.cache_dir, exist_ok=True)
+        with open(os.path.join(cache.cache_dir, "ann_0123abcd.npz"), "wb") as fh:
+            fh.write(b"\x00")
+        assert cache.stats().by_namespace == {"ann": 1}
+
+    def test_clear_namespace(self, cache):
+        cache.put("mc", {"k": 1}, {"x": 1})
+        cache.put("cell", {"k": 1}, {"x": 2})
+        assert cache.clear(namespace="mc") == 1
+        assert cache.get("mc", {"k": 1}) is None
+        assert cache.get("cell", {"k": 1}) == {"x": 2}
+
+    def test_clear_all(self, cache):
+        cache.put("mc", {"k": 1}, {"x": 1})
+        cache.put("cell", {"k": 1}, {"x": 2})
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+    def test_stats_on_missing_dir(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path / "nope"))
+        assert cache.stats().entries == 0
+        assert cache.clear() == 0
+
+
+class TestConcurrency:
+    """Atomic writes: concurrent writers never expose a torn document."""
+
+    def test_concurrent_writers_and_readers(self, cache):
+        payload = {"k": "contended"}
+        value = {"x": list(range(200))}  # big enough to make torn writes likely
+        cache.put("mc", payload, value)
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            local = ResultCache(cache_dir=cache.cache_dir)
+            while not stop.is_set():
+                local.put("mc", payload, value)
+
+        def reader():
+            local = ResultCache(cache_dir=cache.cache_dir)
+            for _ in range(300):
+                got = local.get("mc", payload)
+                if got != value:  # a miss here would mean a torn/partial file
+                    errors.append(got)
+
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        for t in readers:
+            t.join()
+        stop.set()
+        for t in writers:
+            t.join()
+        assert errors == []
+
+    def test_concurrent_distinct_keys(self, cache):
+        def worker(i):
+            local = ResultCache(cache_dir=cache.cache_dir)
+            local.put("mc", {"k": i}, {"x": i})
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(8):
+            assert cache.get("mc", {"k": i}) == {"x": i}
+
+    def test_document_is_valid_json_on_disk(self, cache):
+        cache.put("mc", {"k": 1}, {"x": 1})
+        with open(cache.path("mc", {"k": 1})) as fh:
+            document = json.load(fh)
+        assert document["value"] == {"x": 1}
+        assert document["payload"] == {"k": 1}

@@ -68,6 +68,55 @@ class TestEstimates:
         assert "read_access" in result.summary()
 
 
+class TestSweep:
+    VDDS = (0.65, 0.70, 0.75)
+
+    def test_sweep_matches_per_point_estimates(self, sampler):
+        from repro.rng import derive_seed
+
+        sweep = sampler.estimate_sweep(
+            self.VDDS, FailureType.READ_ACCESS, n_samples=1000, seed=8
+        )
+        for vdd, result in zip(self.VDDS, sweep):
+            expected = sampler.estimate(
+                vdd, FailureType.READ_ACCESS, n_samples=1000,
+                seed=derive_seed(8, int(round(vdd * 1e6))),
+            )
+            assert result.probability == expected.probability
+            assert result.relative_error == expected.relative_error
+
+    def test_parallel_sweep_is_bit_identical(self, sampler):
+        serial = sampler.estimate_sweep(
+            self.VDDS, FailureType.READ_ACCESS, n_samples=1000, seed=8, jobs=1
+        )
+        parallel = sampler.estimate_sweep(
+            self.VDDS, FailureType.READ_ACCESS, n_samples=1000, seed=8, jobs=2
+        )
+        for a, b in zip(serial, parallel):
+            assert a.probability == b.probability
+            assert np.array_equal(a.shift_sigmas, b.shift_sigmas)
+
+    def test_warm_cache_skips_sampling(self, sampler, tmp_path, monkeypatch):
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(cache_dir=str(tmp_path))
+        cold = sampler.estimate_sweep(
+            self.VDDS, FailureType.READ_ACCESS, n_samples=1000, seed=8,
+            cache=cache,
+        )
+
+        def boom(*args, **kwargs):
+            raise AssertionError("sampling ran despite a warm cache")
+
+        monkeypatch.setattr(ImportanceSampler, "_descent_direction", boom)
+        warm = sampler.estimate_sweep(
+            self.VDDS, FailureType.READ_ACCESS, n_samples=1000, seed=8,
+            cache=cache,
+        )
+        assert [r.probability for r in warm] == [r.probability for r in cold]
+        assert cache.hits == len(self.VDDS)
+
+
 class TestValidation:
     def test_rejects_tiny_sample_count(self, sampler):
         with pytest.raises(ConfigurationError):

@@ -22,6 +22,18 @@ class TestParser:
             args = parser.parse_args([cmd] if cmd != "allocate"
                                      else [cmd, "--max-drop", "2"])
             assert args.command == cmd
+        assert parser.parse_args(["cache", "stats"]).command == "cache"
+
+    def test_jobs_and_no_cache_on_every_sweep_subcommand(self):
+        parser = build_parser()
+        for cmd in ("characterize", "scaling", "hybrid", "sensitivity",
+                    "allocate"):
+            args = parser.parse_args([cmd, "--jobs", "4", "--no-cache"])
+            assert args.jobs == 4
+            assert args.no_cache is True
+            defaults = parser.parse_args([cmd])
+            assert defaults.jobs is None
+            assert defaults.no_cache is False
 
     def test_unknown_technology_fails_cleanly(self):
         from repro.errors import ConfigurationError
@@ -43,3 +55,32 @@ class TestCharacterizeCommand:
         exit_code = main(["characterize", "--cell", "8t", "--samples", "2000"])
         assert exit_code == 0
         assert "8T cell" in capsys.readouterr().out
+
+    def test_characterize_no_cache_leaves_store_empty(self, capsys, tmp_cache):
+        exit_code = main(["characterize", "--cell", "6t", "--samples", "2000",
+                          "--no-cache"])
+        assert exit_code == 0
+        assert not tmp_cache.exists() or not any(tmp_cache.iterdir())
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, capsys, tmp_cache):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 0" in out
+
+    def test_stats_after_characterize(self, capsys, tmp_cache):
+        main(["characterize", "--cell", "6t", "--samples", "2000"])
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cellpoint" in out
+
+    def test_clear_namespace_then_all(self, capsys, tmp_cache):
+        main(["characterize", "--cell", "6t", "--samples", "2000"])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--namespace", "cell"]) == 0
+        assert "removed 1 cache entries" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert main(["cache", "stats"]) == 0
+        assert "entries   : 0" in capsys.readouterr().out
