@@ -12,6 +12,13 @@ Two environment knobs tune the harness without editing code:
 * ``REPRO_JOBS`` — worker processes for the characterization sweeps
   (picked up by :class:`repro.runtime.SweepExecutor`; results are
   bit-identical for any value).
+* ``REPRO_BENCH_SHARDS`` / ``REPRO_BENCH_MAX_SHARD_SAMPLES`` — stream
+  each voltage point's Monte-Carlo population through the sharded path
+  (:mod:`repro.runtime.sharding`) with that many shards / that per-shard
+  sample ceiling; like ``REPRO_JOBS``, bit-identical for any value.
+* ``REPRO_BENCH_BLOCK_SAMPLES`` — samples per seeded block (sharding
+  granularity).  Unlike the knobs above this *defines* the sampled
+  population; leave unset to keep the historical streams.
 
 Every benchmark prints the regenerated paper table (so it lands in
 ``bench_output.txt``) and also writes it to ``benchmarks/results/`` —
@@ -37,6 +44,17 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "20000"))
 
 
+def _optional_int(name: str):
+    value = os.environ.get(name, "").strip()
+    return int(value) if value else None
+
+
+#: Optional sharded-Monte-Carlo knobs (None = monolithic populations).
+BENCH_SHARDS = _optional_int("REPRO_BENCH_SHARDS")
+BENCH_MAX_SHARD_SAMPLES = _optional_int("REPRO_BENCH_MAX_SHARD_SAMPLES")
+BENCH_BLOCK_SAMPLES = _optional_int("REPRO_BENCH_BLOCK_SAMPLES")
+
+
 @pytest.fixture(scope="session")
 def tech():
     return ptm22()
@@ -51,7 +69,11 @@ def model():
 
 @pytest.fixture(scope="session")
 def tables(tech):
-    return CellTables.build(technology=tech, n_samples=BENCH_SAMPLES)
+    return CellTables.build(
+        technology=tech, n_samples=BENCH_SAMPLES,
+        shards=BENCH_SHARDS, max_shard_samples=BENCH_MAX_SHARD_SAMPLES,
+        block_samples=BENCH_BLOCK_SAMPLES,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -16,8 +16,9 @@ The package is organised as a circuit-to-system pipeline:
 * :mod:`repro.core` — the paper's contribution: significance-driven and
   sensitivity-driven hybrid memory design plus the end-to-end simulator.
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+See ``docs/architecture.md`` for the layer-by-layer system walkthrough
+and ``docs/reproducing.md`` for the paper-versus-reproduced map of every
+table and figure.
 """
 
 from repro.version import __version__

@@ -42,6 +42,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache (recompute and "
                              "do not store)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="split each Monte-Carlo population into N "
+                             "deterministic shards (bit-identical to a "
+                             "monolithic run; shards are cached individually)")
+    parser.add_argument("--max-shard-samples", type=int, default=None,
+                        metavar="M",
+                        help="cap any shard at M Monte-Carlo samples, raising "
+                             "the shard count as needed (bounds per-shard "
+                             "memory for paper-scale populations; granularity "
+                             "is --block-samples)")
+    parser.add_argument("--block-samples", type=int, default=None, metavar="B",
+                        help="Monte-Carlo samples per seeded block — the "
+                             "sharding granularity. Unlike --jobs/--shards "
+                             "this DEFINES the sampled population (default "
+                             "32768, chosen so standard sample counts keep "
+                             "their historical streams); populations no "
+                             "larger than one block cannot be split")
 
 
 def _build_sim(args) -> CircuitToSystemSimulator:
@@ -50,6 +67,8 @@ def _build_sim(args) -> CircuitToSystemSimulator:
     tables = CellTables.build(
         technology=get_technology(args.tech), n_samples=args.samples,
         use_cache=not args.no_cache, jobs=args.jobs,
+        shards=args.shards, max_shard_samples=args.max_shard_samples,
+        block_samples=args.block_samples,
     )
     return CircuitToSystemSimulator(model, tables=tables, n_trials=args.trials,
                                     jobs=args.jobs)
@@ -62,6 +81,9 @@ def cmd_characterize(args) -> int:
         n_samples=args.samples,
         use_cache=not args.no_cache,
         jobs=args.jobs,
+        shards=args.shards,
+        max_shard_samples=args.max_shard_samples,
+        block_samples=args.block_samples,
     )
     rows = [
         [p.vdd, f"{p.p_read_access:.3e}", f"{p.p_write:.3e}",
@@ -185,7 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=["stats", "clear"])
     p.add_argument("--namespace", default=None,
                    help="restrict 'clear' to one namespace "
-                        "(e.g. mc, cell, cellpoint, is, ann)")
+                        "(e.g. mc, mcshard, cell, cellpoint, is, ann)")
     p.set_defaults(func=cmd_cache)
 
     return parser

@@ -2,7 +2,7 @@
 
 Paper Table I specifies the benchmark network only by totals — 6 layers,
 2594 neurons, 1,406,810 synapses on MNIST.  The layer widths are uniquely
-recoverable (see DESIGN.md): ``784-1000-500-200-100-10`` with biases
+recoverable from the Table I totals: ``784-1000-500-200-100-10`` with biases
 reproduces both totals exactly; that is :func:`paper_ann_spec`.
 
 Because training the 1.4M-synapse network in pure numpy takes a while,
@@ -195,6 +195,14 @@ class CircuitToSystemSimulator:
     characterizations and answers the evaluation questions of Sec. VI:
     accuracy / access power / leakage / area of any memory configuration
     at any supply voltage.
+
+    Determinism contract: every study built on this simulator is a pure
+    function of the model, the characterization tables and the seeds.
+    The execution knobs (``jobs`` worker fan-out, ``shards`` /
+    ``max_shard_samples`` Monte-Carlo sharding when the simulator builds
+    its own tables, the shared result cache) change wall-clock and
+    memory, never a published number.  Accuracies are fractions in
+    [0, 1]; powers W; areas m^2; voltages V.
     """
 
     def __init__(
@@ -205,11 +213,17 @@ class CircuitToSystemSimulator:
         include_write_failures: bool = True,
         include_read_disturb: bool = True,
         jobs: Optional[int] = None,
+        shards: Optional[int] = None,
+        max_shard_samples: Optional[int] = None,
+        block_samples: Optional[int] = None,
     ):
         if n_trials <= 0:
             raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
         self.model = model
-        self.tables = tables or CellTables.build(jobs=jobs)
+        self.tables = tables or CellTables.build(
+            jobs=jobs, shards=shards, max_shard_samples=max_shard_samples,
+            block_samples=block_samples,
+        )
         self.n_trials = n_trials
         self.include_write_failures = include_write_failures
         self.include_read_disturb = include_read_disturb

@@ -40,12 +40,20 @@ class CellTables:
         use_cache: bool = True,
         cache_dir: Optional[str] = None,
         jobs: Optional[int] = None,
+        shards: Optional[int] = None,
+        max_shard_samples: Optional[int] = None,
+        block_samples: Optional[int] = None,
     ) -> "CellTables":
         """Characterize both cells (cached) with the shared 6T budget.
 
-        ``jobs`` fans the Monte-Carlo voltage points of each table
-        across a worker pool; the tables are bit-identical for any
-        worker count.
+        ``jobs`` fans the Monte-Carlo work of each table across a
+        worker pool, and ``shards``/``max_shard_samples`` stream each
+        voltage point's population through the sharded Monte-Carlo path
+        (bounded per-shard memory, per-shard cache entries); the tables
+        are bit-identical for any worker or shard count.
+        ``block_samples`` sets the sharding granularity and is part of
+        the population definition (different block sizes are different,
+        equally valid populations).
         """
         tech = technology or ptm22()
         cell6 = make_cell("6t", tech)
@@ -56,6 +64,8 @@ class CellTables:
             technology=tech, vdd_grid=vdd_grid, rows=rows,
             n_samples=n_samples, seed=seed, read_cycle=budget,
             use_cache=use_cache, cache_dir=cache_dir, jobs=jobs,
+            shards=shards, max_shard_samples=max_shard_samples,
+            block_samples=block_samples,
         )
         return cls(
             table_6t=characterize_cell(cell_kind="6t", **common),

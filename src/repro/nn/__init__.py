@@ -7,7 +7,7 @@ Pure-numpy implementation of everything the system-level study needs:
 * :mod:`~repro.nn.trainer` — minibatch SGD backpropagation.
 * :mod:`~repro.nn.datasets` — a synthetic handwritten-digit task with
   MNIST's tensor shapes (MNIST itself is not redistributable offline;
-  see DESIGN.md for the substitution rationale).
+  see docs/architecture.md for the substitution rationale).
 * :mod:`~repro.nn.quantize` — fixed-point synaptic weights (8-bit in the
   paper's evaluation), exposed as two's-complement integer arrays so the
   fault injector can flip physical bits.

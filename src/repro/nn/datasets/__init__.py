@@ -4,7 +4,7 @@ MNIST (the paper's dataset) cannot be downloaded in this offline
 environment, so :mod:`~repro.nn.datasets.synth_digits` provides a
 procedural handwritten-digit generator with MNIST's tensor geometry
 (28x28 grayscale, 10 classes, centred glyphs with empty borders) and a
-comparable difficulty profile.  See DESIGN.md ("Substitutions") for why
+comparable difficulty profile.  See docs/architecture.md for why
 this preserves the paper's conclusions.
 """
 

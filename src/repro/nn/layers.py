@@ -18,7 +18,7 @@ class DenseLayer:
     Weights have shape ``(n_out, n_in)``, matching the paper's "synapses
     fanning *into* a neuron" orientation: row ``i`` holds the synaptic
     weights of output neuron ``i``.  Biases are the per-neuron offsets
-    (the paper's synapse count 1,406,810 includes them; see DESIGN.md).
+    (the paper's synapse count 1,406,810 includes them; see docs/reproducing.md).
 
     The layer is deliberately mutable: the fault injector replaces
     ``weights`` wholesale with perturbed dequantized values, and the

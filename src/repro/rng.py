@@ -16,7 +16,8 @@ import numpy as np
 SeedLike = Union[int, np.random.Generator, None]
 
 #: Default seed used when callers pass ``None``; fixed so that all
-#: documented numbers in EXPERIMENTS.md are reproducible bit-for-bit.
+#: numbers documented in docs/reproducing.md are reproducible
+#: bit-for-bit.
 DEFAULT_SEED = 20160227  # arXiv submission date of the paper.
 
 

@@ -13,10 +13,18 @@ provides the two pieces of infrastructure those sweeps share:
   store (key = SHA-256 of everything that affects the numbers, plus a
   schema version) with atomic writes, so concurrent sweeps can share a
   cache directory and a version bump invalidates stale results.
+* :class:`~repro.runtime.sharding.ShardPlan` /
+  :class:`~repro.runtime.sharding.ShardedMonteCarlo` — deterministic
+  block-granular sharding of one Monte-Carlo population across the
+  executor, with per-shard cache entries and an exact (grouping
+  independent) tally merge, so paper-scale populations stream with
+  bounded memory and re-sharding never changes a bit of the result.
 
 The SRAM characterization, the circuit-to-system studies, the CLI
-(``--jobs`` / ``--no-cache`` on every subcommand) and the benchmark
-harness are all built on these two primitives.
+(``--jobs`` / ``--no-cache`` / ``--shards`` on every subcommand) and the
+benchmark harness are all built on these primitives.  The contracts
+(determinism, cache-key versioning, atomicity) are documented in
+``docs/runtime.md``.
 """
 
 from repro.runtime.cache import (
@@ -26,11 +34,21 @@ from repro.runtime.cache import (
     default_cache_dir,
 )
 from repro.runtime.executor import SweepExecutor, resolve_jobs
+from repro.runtime.sharding import (
+    DEFAULT_BLOCK_SAMPLES,
+    Shard,
+    ShardedMonteCarlo,
+    ShardPlan,
+)
 
 __all__ = [
     "CACHE_VERSION",
     "CacheStats",
+    "DEFAULT_BLOCK_SAMPLES",
     "ResultCache",
+    "Shard",
+    "ShardPlan",
+    "ShardedMonteCarlo",
     "SweepExecutor",
     "default_cache_dir",
     "resolve_jobs",

@@ -80,6 +80,14 @@ class CacheStats:
 class ResultCache:
     """Content-addressed JSON store with atomic writes.
 
+    Correctness contract: a payload must contain *everything* that
+    determines the value stored under it (model parameters, sample and
+    block counts, seeds, per-namespace ``rev`` markers), so a hit is
+    indistinguishable from a recompute and enabling/disabling the cache
+    never changes a number.  Values must be JSON-serializable; floats
+    round-trip bit-for-bit.  The full contract (key completeness,
+    versioning levers, atomicity) is documented in ``docs/runtime.md``.
+
     Parameters
     ----------
     cache_dir:

@@ -4,15 +4,22 @@ A :class:`SubArray` binds a bitcell to an array geometry and exposes the
 array-level quantities the memory architecture needs: total leakage,
 per-access energy/power, cycle time, area and the Monte-Carlo failure
 rates of its cells at any operating voltage.
+
+Failure analysis runs through the sharded Monte-Carlo path of
+:mod:`repro.runtime.sharding`, so paper-scale populations (one sample
+per cell of a 64k-cell sub-array and beyond) stream with bounded
+per-shard memory — and produce exactly the same numbers as a monolithic
+in-process run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike
+from repro.runtime import DEFAULT_BLOCK_SAMPLES, ResultCache
 from repro.sram.area import bitcell_area
 from repro.sram.bitcell import BitcellBase
 from repro.sram.montecarlo import FailureRates, MonteCarloAnalyzer
@@ -31,6 +38,12 @@ class SubArray:
     The paper's failure and timing analysis is anchored to a 256x256
     sub-array; larger memories are built from multiple sub-arrays by
     :mod:`repro.mem`.
+
+    Units: areas are m^2, powers W, energies J, times s, voltages V.
+    Every quantity is a deterministic function of the constructor
+    arguments — the execution knobs (``shards``, ``max_shard_samples``,
+    ``jobs``, ``cache``) change how the Monte Carlo runs, never what it
+    returns.
     """
 
     cell: BitcellBase
@@ -42,7 +55,27 @@ class SubArray:
     #: hybrid architecture passes the 6T budget so both cell types are
     #: judged against the same array clock ("equal read access times").
     read_cycle: Optional[float] = None
-    _analyzer_cache: dict = field(default_factory=dict, compare=False, repr=False)
+    #: Shard count for the failure Monte Carlo (``None`` = one shard).
+    shards: Optional[int] = None
+    #: Per-shard sample ceiling — bounds the working set of one shard,
+    #: raising the shard count as needed.  Sharding granularity is
+    #: ``block_samples``; populations that fit one block cannot split.
+    max_shard_samples: Optional[int] = None
+    #: Samples per seeded block (``None`` = the runtime default).  Part
+    #: of the population's statistical definition, not an execution
+    #: knob: arrays with different block sizes draw different (equally
+    #: valid) ΔVT populations.
+    block_samples: Optional[int] = None
+    #: Worker processes for shard fan-out (``None`` honours
+    #: ``REPRO_JOBS``, default serial).
+    jobs: Optional[int] = None
+    #: Shared result cache for per-shard tallies (``None`` = uncached).
+    cache: Optional[ResultCache] = field(
+        default=None, compare=False, repr=False
+    )
+    _rates_memo: Dict[float, FailureRates] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
@@ -94,24 +127,38 @@ class SubArray:
     # ------------------------------------------------------------------
     # Failure analysis
     # ------------------------------------------------------------------
+    def analyzer(self) -> MonteCarloAnalyzer:
+        """The Monte-Carlo analyzer this array's failure rates come from."""
+        return MonteCarloAnalyzer(
+            cell=self.cell,
+            n_samples=self.mc_samples,
+            bitline=self.bitline,
+            seed=self.seed,
+            read_cycle=self.read_cycle_budget(),
+            block_samples=(self.block_samples if self.block_samples is not None
+                           else DEFAULT_BLOCK_SAMPLES),
+        )
+
     def failure_rates(self, vdd: float) -> FailureRates:
         """Monte-Carlo failure rates of this array's cells at ``vdd``.
 
-        Analyzer construction is cached on the instance; per-voltage
-        results are cached too, keyed by the rounded voltage, so sweeps
-        and repeated accounting reuse the expensive Monte Carlo.
+        Runs through the sharded path with this array's ``shards`` /
+        ``max_shard_samples`` / ``jobs`` / ``cache`` configuration.
+        Because sharding is bit-identical to a monolithic run, the
+        per-voltage memo (keyed by the rounded voltage) stays valid for
+        any execution configuration; repeated accounting reuses the
+        expensive Monte Carlo.
         """
         key = round(float(vdd), 6)
-        if key not in self._analyzer_cache:
-            analyzer = MonteCarloAnalyzer(
-                cell=self.cell,
-                n_samples=self.mc_samples,
-                bitline=self.bitline,
-                seed=self.seed,
-                read_cycle=self.read_cycle_budget(),
+        if key not in self._rates_memo:
+            self._rates_memo[key] = self.analyzer().analyze_sharded(
+                vdd,
+                shards=self.shards,
+                max_shard_samples=self.max_shard_samples,
+                jobs=self.jobs,
+                cache=self.cache,
             )
-            self._analyzer_cache[key] = analyzer.analyze(vdd)
-        return self._analyzer_cache[key]
+        return self._rates_memo[key]
 
     def expected_faulty_cells(self, vdd: float) -> float:
         """Expected number of failing cells in the array at ``vdd``."""

@@ -9,12 +9,14 @@ content-addressed :class:`~repro.runtime.ResultCache` (keyed by every
 parameter that affects the numbers), so system-level experiments start
 instantly after the first run.
 
-Caching happens at two granularities: the whole table (namespace
-``cell``) and each voltage point (namespace ``cellpoint``).  Per-point
-entries survive changes to the *grid* — characterizing a superset grid
-reuses every already-computed point — and the independent points fan
-out across a :class:`~repro.runtime.SweepExecutor` worker pool when
-``jobs`` asks for parallelism.
+Caching happens at up to three granularities: the whole table
+(namespace ``cell``), each voltage point (namespace ``cellpoint``),
+and — on the sharded path — each Monte-Carlo shard (namespace
+``mcshard``).  Per-point entries survive changes to the *grid* —
+characterizing a superset grid reuses every already-computed point —
+and the independent points fan out across a
+:class:`~repro.runtime.SweepExecutor` worker pool when ``jobs`` asks
+for parallelism (or, with ``shards``, each point's shards do).
 
 The cached table interpolates between grid points: probabilities in
 log-space (they span decades), energies/powers in linear space.
@@ -31,7 +33,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.rng import DEFAULT_SEED, resolve_seed
-from repro.runtime import ResultCache, SweepExecutor, default_cache_dir
+from repro.runtime import (
+    DEFAULT_BLOCK_SAMPLES,
+    ResultCache,
+    SweepExecutor,
+    default_cache_dir,
+)
 from repro.sram.area import bitcell_area
 from repro.sram.bitcell import BitcellBase, make_cell
 from repro.sram.montecarlo import MonteCarloAnalyzer
@@ -141,7 +148,13 @@ def _characterize_point(
     analyzer: MonteCarloAnalyzer, rows: int, vdd: float
 ) -> CharacterizationPoint:
     """Worker entry point: Monte-Carlo + power models at one voltage."""
-    rates = analyzer.analyze(vdd)
+    return _point_from_rates(analyzer, rows, vdd, analyzer.analyze(vdd))
+
+
+def _point_from_rates(
+    analyzer: MonteCarloAnalyzer, rows: int, vdd: float, rates
+) -> CharacterizationPoint:
+    """Combine already-computed failure rates with the power models."""
     power = cell_power(analyzer.cell, vdd, rows=rows, cols=rows)
     return CharacterizationPoint(
         vdd=float(vdd),
@@ -181,6 +194,9 @@ def characterize_cell(
     cache_dir: Optional[str] = None,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    shards: Optional[int] = None,
+    max_shard_samples: Optional[int] = None,
+    block_samples: Optional[int] = None,
 ) -> CellCharacterization:
     """Characterize a cell over a voltage grid (cached, parallelizable).
 
@@ -188,9 +204,17 @@ def characterize_cell(
     pass ``cell`` to characterize a custom-sized cell, otherwise the
     default-sized cell of ``cell_kind`` is used.  ``read_cycle`` lets the
     hybrid architecture impose the 6T timing budget on the 8T cell.
-    ``jobs`` fans uncached voltage points across a worker pool and
-    ``cache`` overrides the default shared result store; the table is
-    bit-identical for every (jobs, cache) combination.
+    ``jobs`` fans uncached work across a worker pool and ``cache``
+    overrides the default shared result store.  When ``shards`` /
+    ``max_shard_samples`` request sub-array sharding, each voltage
+    point's Monte-Carlo population streams through the sharded path
+    (bounded per-shard memory, per-shard cache entries) instead of
+    fanning whole points; the table is bit-identical for every
+    (jobs, cache, shards) combination.  ``block_samples`` sets the
+    sharding granularity — unlike the execution knobs it is part of the
+    population's statistical definition (it selects which child seed
+    each sample draws from), so tables with different block sizes are
+    different, equally valid populations and are cached separately.
     """
     tech = technology or ptm22()
     the_cell = cell if cell is not None else make_cell(cell_kind, tech)
@@ -208,6 +232,8 @@ def characterize_cell(
     analyzer = MonteCarloAnalyzer(
         cell=the_cell, n_samples=n_samples, bitline=bitline,
         seed=resolve_seed(seed), read_cycle=budget,
+        block_samples=(block_samples if block_samples is not None
+                       else DEFAULT_BLOCK_SAMPLES),
     ).resolved()
 
     table_payload = {
@@ -217,9 +243,10 @@ def characterize_cell(
         "rows": int(rows),
         "n_samples": int(n_samples),
         "seed": analyzer.seed,
+        "block_samples": analyzer.block_samples,
         "vdds": [float(v) for v in vdd_grid],
         "read_cycle": budget,
-        "rev": 4,  # bump to invalidate caches after model changes
+        "rev": 5,  # rev 5: block-decomposed sample streams (sharding)
     }
     hit = store.get("cell", table_payload)
     if hit is not None:
@@ -238,10 +265,33 @@ def characterize_cell(
             missing.append((i, float(vdd)))
 
     if missing:
-        computed = SweepExecutor(jobs).map(
-            partial(_characterize_point, analyzer, rows),
-            [v for _, v in missing],
-        )
+        # Honour a sharding request only when the resolved plan actually
+        # splits the population; a single-shard plan (population fits one
+        # block) would serialize the points for nothing — and the results
+        # are bit-identical either way, so the faster path is safe.
+        sharding_requested = shards is not None or max_shard_samples is not None
+        use_sharded = sharding_requested and analyzer.shard_plan(
+            shards=shards, max_shard_samples=max_shard_samples
+        ).n_shards > 1
+        if use_sharded:
+            # Sharded path: points run in order, each point's shards
+            # fanned across the pool and cached individually — per-shard
+            # memory stays bounded even for paper-scale populations.
+            computed = [
+                _point_from_rates(
+                    analyzer, rows, v,
+                    analyzer.analyze_sharded(
+                        v, shards=shards, max_shard_samples=max_shard_samples,
+                        jobs=jobs, cache=store,
+                    ),
+                )
+                for _, v in missing
+            ]
+        else:
+            computed = SweepExecutor(jobs).map(
+                partial(_characterize_point, analyzer, rows),
+                [v for _, v in missing],
+            )
         for (i, vdd), point in zip(missing, computed):
             points[i] = point
             store.put("cellpoint", _point_payload(analyzer, rows, vdd), asdict(point))

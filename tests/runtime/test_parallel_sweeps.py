@@ -4,6 +4,7 @@ cache serves sweeps without recomputing any Monte Carlo."""
 
 import pytest
 
+from repro.devices.variation import VariationModel
 from repro.runtime import ResultCache
 from repro.sram import characterize_cell, failure_rates_vs_vdd
 from repro.sram.montecarlo import MonteCarloAnalyzer
@@ -58,7 +59,8 @@ class TestSweepCaching:
         def boom(self, *args, **kwargs):
             raise AssertionError("Monte Carlo ran despite a warm cache")
 
-        monkeypatch.setattr(MonteCarloAnalyzer, "sample_margins", boom)
+        # Any recompute must draw ΔVT samples, whatever path it takes.
+        monkeypatch.setattr(VariationModel, "sample", boom)
         warm = failure_rates_vs_vdd(
             cell6, VDDS, n_samples=N_SAMPLES, seed=11, cache=cache
         )
@@ -102,7 +104,7 @@ class TestCharacterizationCaching:
         def boom(self, *args, **kwargs):
             raise AssertionError("Monte Carlo ran despite a warm cache")
 
-        monkeypatch.setattr(MonteCarloAnalyzer, "sample_margins", boom)
+        monkeypatch.setattr(VariationModel, "sample", boom)
         warm = characterize_cell(**kwargs)
         assert warm == cold
 

@@ -54,7 +54,7 @@ class TestPaperRatios:
     def test_leakage_overhead_toward_47pct(self, cell6, cell8, vdd):
         ratio = leakage_power(cell8, vdd) / leakage_power(cell6, vdd)
         # Mechanistic subthreshold model lands at ~1.41-1.45 vs the
-        # paper's layout-extracted 1.47 (see EXPERIMENTS.md).
+        # paper's layout-extracted 1.47 (see docs/reproducing.md).
         assert 1.30 <= ratio <= 1.55
 
 

@@ -35,6 +35,22 @@ class TestParser:
             assert defaults.jobs is None
             assert defaults.no_cache is False
 
+    def test_shards_flags_on_every_sweep_subcommand(self):
+        parser = build_parser()
+        for cmd in ("characterize", "scaling", "hybrid", "sensitivity",
+                    "allocate"):
+            args = parser.parse_args(
+                [cmd, "--shards", "4", "--max-shard-samples", "512",
+                 "--block-samples", "256"]
+            )
+            assert args.shards == 4
+            assert args.max_shard_samples == 512
+            assert args.block_samples == 256
+            defaults = parser.parse_args([cmd])
+            assert defaults.shards is None
+            assert defaults.max_shard_samples is None
+            assert defaults.block_samples is None
+
     def test_unknown_technology_fails_cleanly(self):
         from repro.errors import ConfigurationError
 
@@ -61,6 +77,27 @@ class TestCharacterizeCommand:
                           "--no-cache"])
         assert exit_code == 0
         assert not tmp_cache.exists() or not any(tmp_cache.iterdir())
+
+    def test_characterize_sharded_round_trip(self, capsys, tmp_cache):
+        """--shards changes execution, caching granularity — and no output.
+
+        The population is pinned with --block-samples (that knob *defines*
+        the sample streams); only the execution knobs vary between runs.
+        """
+        base = ["characterize", "--cell", "6t", "--samples", "2000",
+                "--block-samples", "512"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        from repro.runtime import ResultCache
+
+        ResultCache().clear()  # force the sharded run to recompute
+        assert main(base + ["--shards", "3", "--max-shard-samples", "1024"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == plain
+        # Shard tallies landed in their own namespace alongside the table:
+        # 2000 samples / 512-sample blocks -> 4 blocks -> 3 ragged shards.
+        stats = ResultCache().stats()
+        assert stats.by_namespace.get("mcshard", 0) == 3 * 8  # shards x grid
 
 
 class TestCacheCommand:
