@@ -1,0 +1,127 @@
+"""Serving-layer throughput — requests/sec versus batch window.
+
+Extension benchmark (no paper figure): drives the async batch-serving
+front-end (:mod:`repro.serving`) with a burst of concurrent evaluation
+requests — several clients asking about the same few memory
+configurations, the production traffic shape — and measures how the
+batch window trades latency for shared work.
+
+Asserted invariants:
+
+* every batched response is byte-identical to the sequential
+  ``CircuitToSystemSimulator`` answer (the serving contract);
+* the front-end coalesces the burst into exactly one fault-injection
+  pass per *distinct* request, for every window setting;
+* a second identical burst against the shared result cache performs
+  zero evaluations.
+"""
+
+import asyncio
+import json
+import time
+
+from benchmarks.conftest import once
+from repro.core import format_table
+from repro.runtime import ResultCache
+from repro.serving import BatchingEvaluator, EvalRequest, sequential_response
+
+#: Batch windows to sweep (seconds).  0 still batches same-turn bursts.
+WINDOWS = (0.0, 0.005, 0.02)
+
+#: Distinct requests of the burst; each is repeated REPEAT times.
+DISTINCT = (
+    dict(config="base", vdd=0.70),
+    dict(config="base", vdd=0.75),
+    dict(config="config1", vdd=0.65, msb_in_8t=3),
+    dict(config="config2", vdd=0.65, msb_per_layer=(2, 3, 1, 1, 3)),
+)
+REPEAT = 4
+
+
+def _burst():
+    return [EvalRequest(**spec) for spec in DISTINCT for _ in range(REPEAT)]
+
+
+def _canon(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _drive(sim, window, cache=None):
+    """One burst through a fresh evaluator; returns (stats, responses, secs)."""
+
+    async def run():
+        evaluator = BatchingEvaluator(
+            sim, cache=cache, batch_window=window, max_batch=64
+        )
+        start = time.perf_counter()
+        responses = await asyncio.gather(
+            *(evaluator.submit(request) for request in _burst())
+        )
+        elapsed = time.perf_counter() - start
+        await evaluator.close()
+        return evaluator.stats, list(responses), elapsed
+
+    return asyncio.run(run())
+
+
+def test_serving_throughput_vs_batch_window(benchmark, sim, emit):
+    requests = _burst()
+
+    # The byte-identity oracle, timed as the no-batching reference.
+    seq_start = time.perf_counter()
+    reference = [_canon(sequential_response(sim, r)) for r in requests]
+    seq_elapsed = time.perf_counter() - seq_start
+
+    def sweep():
+        rows = []
+        for window in WINDOWS:
+            stats, responses, elapsed = _drive(sim, window)
+            assert [_canon(r) for r in responses] == reference, (
+                f"window={window}: batched responses differ from sequential"
+            )
+            assert stats.evaluations == len(DISTINCT), stats.summary()
+            assert stats.evaluations < stats.requests
+            rows.append((window, stats, elapsed))
+        return rows
+
+    rows = once(benchmark, sweep)
+
+    # Warm-cache burst: the response store answers everything.
+    cache = ResultCache()
+    warm_stats, warm_responses, warm_elapsed = _drive(sim, 0.0, cache=cache)
+    if warm_stats.cache_hits < warm_stats.requests:  # first run primes it
+        warm_stats, warm_responses, warm_elapsed = _drive(sim, 0.0, cache=cache)
+    assert [_canon(r) for r in warm_responses] == reference
+    assert warm_stats.evaluations == 0
+    assert warm_stats.cache_hits == warm_stats.requests
+
+    table_rows = [
+        ["sequential", len(requests), len(requests), "-",
+         f"{seq_elapsed:.3f}", f"{len(requests) / seq_elapsed:.1f}"],
+    ] + [
+        [f"window={window * 1e3:g} ms", stats.requests, stats.evaluations,
+         stats.batches, f"{elapsed:.3f}",
+         f"{stats.requests / elapsed:.1f}"]
+        for window, stats, elapsed in rows
+    ] + [
+        ["warm cache", warm_stats.requests, warm_stats.evaluations,
+         warm_stats.batches, f"{warm_elapsed:.3f}",
+         f"{warm_stats.requests / warm_elapsed:.1f}"],
+    ]
+    emit(
+        "serving_throughput",
+        format_table(
+            ["mode", "requests", "fault passes", "batches", "wall s", "req/s"],
+            table_rows,
+        ),
+        data=[
+            {
+                "mode": row[0],
+                "requests": row[1],
+                "fault_passes": row[2],
+                "wall_seconds": float(row[4]),
+                "requests_per_second": float(row[5]),
+            }
+            for row in table_rows
+        ],
+    )

@@ -15,6 +15,10 @@ The package is organised as a circuit-to-system pipeline:
   failure statistics.
 * :mod:`repro.core` — the paper's contribution: significance-driven and
   sensitivity-driven hybrid memory design plus the end-to-end simulator.
+* :mod:`repro.runtime` — parallel sweep executor, content-addressed
+  result cache, sharded Monte Carlo, single-flight request coalescing.
+* :mod:`repro.serving` — async batch-serving front-end over the
+  simulator (JSON-lines protocol; see ``docs/serving.md``).
 
 See ``docs/architecture.md`` for the layer-by-layer system walkthrough
 and ``docs/reproducing.md`` for the paper-versus-reproduced map of every

@@ -157,6 +157,26 @@ def cmd_allocate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serving import BatchingEvaluator, run_stdio
+    from repro.serving.server import run_tcp_forever
+
+    sim = _build_sim(args)
+    evaluator = BatchingEvaluator(
+        sim,
+        # None, not a disabled cache: submit() skips the per-request
+        # store round trip entirely when there is no cache.
+        cache=None if args.no_cache else ResultCache(),
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+    )
+    if args.stdin:
+        code = run_stdio(evaluator)
+        print(evaluator.stats.summary(), file=sys.stderr)
+        return code
+    return run_tcp_forever(evaluator, args.host, args.port)
+
+
 def cmd_cache(args) -> int:
     cache = ResultCache()
     if args.action == "stats":
@@ -203,11 +223,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_allocate)
 
+    p = sub.add_parser(
+        "serve",
+        help="batch-serving front-end: JSON-lines evaluation requests "
+             "over TCP (or one stdin/stdout exchange with --stdin)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8416,
+                   help="TCP port (0 = ephemeral; default 8416)")
+    p.add_argument("--batch-window", type=float, default=0.01, metavar="S",
+                   help="seconds to hold the first pending request while "
+                        "more arrive (default 0.01; 0 still batches "
+                        "same-turn bursts)")
+    p.add_argument("--max-batch", type=int, default=32, metavar="N",
+                   help="pending-request count that forces an immediate "
+                        "flush (default 32)")
+    p.add_argument("--stdin", action="store_true",
+                   help="read JSON-lines requests from stdin, answer on "
+                        "stdout, exit (socket-free mode)")
+    _add_common(p)
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("cache", help="inspect or clear the shared result cache")
     p.add_argument("action", choices=["stats", "clear"])
     p.add_argument("--namespace", default=None,
                    help="restrict 'clear' to one namespace "
-                        "(e.g. mc, mcshard, cell, cellpoint, is, ann)")
+                        "(e.g. mc, mcshard, cell, cellpoint, is, ann, serve)")
     p.set_defaults(func=cmd_cache)
 
     return parser

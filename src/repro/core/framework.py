@@ -30,7 +30,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.fault.evaluate import FaultEvaluation, evaluate_under_faults
+from repro.fault.evaluate import (
+    FaultEvaluation,
+    FaultTrialSpec,
+    evaluate_many_under_faults,
+    evaluate_under_faults,
+)
 from repro.mem.accounting import (
     BASELINE_VDD_6T,
     ComparisonReport,
@@ -290,6 +295,79 @@ class CircuitToSystemSimulator:
         """The paper's iso-stability baseline: all-6T at 0.75 V."""
         return self.base_memory(BASELINE_VDD_6T)
 
+    def memory_for(
+        self,
+        config: str,
+        vdd: float,
+        msb_in_8t: Optional[int] = None,
+        msb_per_layer: Optional[Sequence[int]] = None,
+    ) -> SynapticMemoryArchitecture:
+        """Build a memory by configuration name — the serving entry point.
+
+        ``config`` is one of ``"base"`` (all-6T), ``"config1"`` (uniform
+        hybrid; requires ``msb_in_8t``) or ``"config2"`` (per-layer
+        hybrid; requires ``msb_per_layer``).  The name/argument pairing
+        is validated strictly so a malformed request fails here, with a
+        message, rather than deep inside the bank math.
+        """
+        if config == "base":
+            if msb_in_8t is not None or msb_per_layer is not None:
+                raise ConfigurationError(
+                    "config 'base' takes no MSB arguments"
+                )
+            return self.base_memory(vdd)
+        if config == "config1":
+            if msb_in_8t is None or msb_per_layer is not None:
+                raise ConfigurationError(
+                    "config 'config1' requires msb_in_8t (and only msb_in_8t)"
+                )
+            return self.config1_memory(vdd, msb_in_8t)
+        if config == "config2":
+            if msb_per_layer is None or msb_in_8t is not None:
+                raise ConfigurationError(
+                    "config 'config2' requires msb_per_layer (and only "
+                    "msb_per_layer)"
+                )
+            return self.config2_memory(vdd, msb_per_layer)
+        raise ConfigurationError(
+            f"unknown memory config {config!r}; known: base, config1, config2"
+        )
+
+    def fingerprint(self) -> str:
+        """Digest of everything that determines :meth:`evaluate` results.
+
+        Covers the quantized memory image (the exact code arrays the
+        injector perturbs), the evaluation split, the failure-model
+        flags and both characterization tables — so two simulators with
+        equal fingerprints return bit-identical evaluations for equal
+        ``(memory, n_trials, seed)`` requests.  The serving layer folds
+        this digest into every response-cache key, making a cached
+        response indistinguishable from a recompute.
+        """
+        h = hashlib.sha256()
+        image = self.model.image
+        h.update(
+            json.dumps(
+                {
+                    "n_bits": image.fmt.n_bits,
+                    "frac_bits": image.fmt.frac_bits,
+                    "include_write_failures": self.include_write_failures,
+                    "include_read_disturb": self.include_read_disturb,
+                    "tables": [
+                        self.tables.table_6t.to_payload(),
+                        self.tables.table_8t.to_payload(),
+                    ],
+                },
+                sort_keys=True,
+            ).encode()
+        )
+        for codes in (*image.weight_codes, *image.bias_codes):
+            h.update(np.ascontiguousarray(codes).tobytes())
+        dataset = self.model.dataset
+        h.update(np.ascontiguousarray(dataset.x_test).tobytes())
+        h.update(np.ascontiguousarray(dataset.y_test).tobytes())
+        return h.hexdigest()[:32]
+
     # ------------------------------------------------------------------
     # Accuracy under a memory configuration
     # ------------------------------------------------------------------
@@ -312,6 +390,55 @@ class CircuitToSystemSimulator:
             self.model.dataset.y_test,
             n_trials=n_trials or self.n_trials,
             seed=seed,
+        )
+
+    def evaluate_batch(
+        self,
+        items: Sequence[tuple],
+        injectors: Optional[Sequence] = None,
+    ) -> list:
+        """Evaluate many memories through one shared fault-injection pass.
+
+        ``items`` holds ``(memory, n_trials, seed)`` triples
+        (``n_trials=None`` takes the simulator default).  Element ``i``
+        of the result equals ``self.evaluate(*items[i])`` bit-for-bit —
+        each request's flip masks derive from its own seed — but the
+        batch pays the parameter snapshot, the clean-image load and the
+        baseline forward pass once instead of ``len(items)`` times.
+        This is the flush path of the batch-serving front-end
+        (:mod:`repro.serving`).
+
+        ``injectors`` optionally supplies one prebuilt
+        :class:`~repro.fault.injector.WeightFaultInjector` per item (a
+        caller that already built them for validation avoids building
+        them twice); each must come from ``items[i]``'s memory with
+        this simulator's failure-model flags.
+        """
+        if injectors is not None and len(injectors) != len(items):
+            raise ConfigurationError(
+                f"got {len(injectors)} injectors for {len(items)} items"
+            )
+        specs = []
+        for i, (memory, n_trials, seed) in enumerate(items):
+            injector = injectors[i] if injectors is not None else (
+                memory.fault_injector(
+                    include_write_failures=self.include_write_failures,
+                    include_read_disturb=self.include_read_disturb,
+                )
+            )
+            specs.append(
+                FaultTrialSpec(
+                    injector=injector,
+                    n_trials=n_trials or self.n_trials,
+                    seed=seed,
+                )
+            )
+        return evaluate_many_under_faults(
+            self.model.network,
+            self.model.image,
+            specs,
+            self.model.dataset.x_test,
+            self.model.dataset.y_test,
         )
 
     def compare(

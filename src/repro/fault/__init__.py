@@ -19,7 +19,12 @@ only the LSBs affected in a hybrid 8T-6T SRAM".
 from repro.fault.bitflip import apply_flip_mask, count_flipped_bits, random_flip_mask
 from repro.fault.model import BitErrorRates, word_bit_error_rates
 from repro.fault.injector import WeightFaultInjector
-from repro.fault.evaluate import FaultEvaluation, evaluate_under_faults
+from repro.fault.evaluate import (
+    FaultEvaluation,
+    FaultTrialSpec,
+    evaluate_many_under_faults,
+    evaluate_under_faults,
+)
 
 __all__ = [
     "apply_flip_mask",
@@ -29,5 +34,7 @@ __all__ = [
     "word_bit_error_rates",
     "WeightFaultInjector",
     "FaultEvaluation",
+    "FaultTrialSpec",
+    "evaluate_many_under_faults",
     "evaluate_under_faults",
 ]

@@ -9,7 +9,7 @@ accuracy on the evaluation set, and restore the clean parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +56,96 @@ class FaultEvaluation:
             f"(baseline {self.baseline_accuracy:.4f}, "
             f"drop {100 * self.accuracy_drop:.2f}%, trials {self.n_trials})"
         )
+
+
+@dataclass(frozen=True)
+class FaultTrialSpec:
+    """One evaluation request of a batched fault-injection pass.
+
+    ``injector=None`` requests the clean baseline only (mirroring
+    :func:`evaluate_under_faults`); ``seed`` should be an integer or
+    ``None`` so the spec's trial streams are a pure function of the spec
+    itself, independent of its position in the batch.
+    """
+
+    injector: Optional[WeightFaultInjector]
+    n_trials: int = 5
+    seed: SeedLike = None
+
+
+def evaluate_many_under_faults(
+    network: FeedforwardANN,
+    image: QuantizedWeights,
+    specs: Sequence[FaultTrialSpec],
+    x_eval: np.ndarray,
+    y_eval: np.ndarray,
+) -> List[FaultEvaluation]:
+    """Batched persistent-mode evaluation sharing the clean pass.
+
+    Element ``i`` of the result equals
+    ``evaluate_under_faults(network, image, specs[i].injector, x_eval,
+    y_eval, n_trials=specs[i].n_trials, seed=specs[i].seed)``
+    bit-for-bit — every trial's flip masks derive from ``(spec seed,
+    trial index)`` alone, exactly as on the sequential path.  What the
+    batch *shares* is the per-call overhead that dominates short
+    requests: one parameter snapshot/restore cycle, one application of
+    the clean image and one clean forward pass over the evaluation set
+    serve every spec, instead of being repeated per request.
+
+    This is the vectorized fault-injection pass behind
+    :meth:`repro.core.framework.CircuitToSystemSimulator.evaluate_batch`
+    and the batch-serving front-end (:mod:`repro.serving`).
+    """
+    for spec in specs:
+        if spec.n_trials <= 0:
+            raise ConfigurationError(
+                f"n_trials must be positive, got {spec.n_trials}"
+            )
+
+    results: List[FaultEvaluation] = []
+    snapshot = network.snapshot()
+    try:
+        image.apply_to(network)
+        baseline = accuracy(network.predict(x_eval), y_eval)
+
+        for spec in specs:
+            if spec.injector is None:
+                results.append(
+                    FaultEvaluation(
+                        baseline_accuracy=baseline,
+                        trial_accuracies=(baseline,),
+                        expected_flips=0.0,
+                    )
+                )
+                continue
+            trials: Tuple[float, ...] = tuple(
+                accuracy(_predict_faulty(network, image, spec, trial, x_eval), y_eval)
+                for trial in range(spec.n_trials)
+            )
+            results.append(
+                FaultEvaluation(
+                    baseline_accuracy=baseline,
+                    trial_accuracies=trials,
+                    expected_flips=spec.injector.expected_flips(image),
+                )
+            )
+        return results
+    finally:
+        network.restore(snapshot)
+
+
+def _predict_faulty(
+    network: FeedforwardANN,
+    image: QuantizedWeights,
+    spec: FaultTrialSpec,
+    trial: int,
+    x_eval: np.ndarray,
+) -> np.ndarray:
+    """One persistent-mode trial: sample a die, load it, classify."""
+    assert spec.injector is not None
+    faulty = spec.injector.inject(image, seed=derive_seed(spec.seed, trial))
+    faulty.apply_to(network)
+    return network.predict(x_eval)
 
 
 def evaluate_under_faults(

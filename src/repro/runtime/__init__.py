@@ -19,6 +19,10 @@ provides the two pieces of infrastructure those sweeps share:
   executor, with per-shard cache entries and an exact (grouping
   independent) tally merge, so paper-scale populations stream with
   bounded memory and re-sharding never changes a bit of the result.
+* :class:`~repro.runtime.singleflight.SingleFlight` — keyed in-flight
+  futures for async request coalescing: the cache deduplicates
+  *completed* work, SingleFlight deduplicates work still in flight
+  (the batch-serving front-end in :mod:`repro.serving` uses both).
 
 The SRAM characterization, the circuit-to-system studies, the CLI
 (``--jobs`` / ``--no-cache`` / ``--shards`` on every subcommand) and the
@@ -40,6 +44,7 @@ from repro.runtime.sharding import (
     ShardedMonteCarlo,
     ShardPlan,
 )
+from repro.runtime.singleflight import SingleFlight
 
 __all__ = [
     "CACHE_VERSION",
@@ -49,6 +54,7 @@ __all__ = [
     "Shard",
     "ShardPlan",
     "ShardedMonteCarlo",
+    "SingleFlight",
     "SweepExecutor",
     "default_cache_dir",
     "resolve_jobs",

@@ -1,0 +1,88 @@
+"""Keyed single-flight futures for async request coalescing.
+
+The serving front-end (:mod:`repro.serving`) receives many concurrent
+requests for the *same* result — identical ``(architecture, VDD,
+seed)`` evaluations from different clients.  The content-addressed
+:class:`~repro.runtime.cache.ResultCache` already deduplicates requests
+against *completed* work; :class:`SingleFlight` closes the remaining
+window by deduplicating against work that is still *in flight*: the
+first claimant of a key becomes the leader (and must eventually resolve
+or reject the key), every later claimant gets the same future and just
+awaits it.
+
+The primitive is transport-agnostic and makes no assumptions about how
+the leader computes the value — the batching evaluator resolves whole
+batches at once.  All bookkeeping happens on one event loop; no locks
+are needed because asyncio callbacks never interleave mid-function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Tuple
+
+
+class SingleFlight:
+    """Deduplicate concurrent work by key, one future per key.
+
+    Usage::
+
+        future, leader = flight.claim(key)
+        if leader:
+            ...schedule the computation, then...
+            flight.resolve(key, value)       # or flight.reject(key, exc)
+        result = await future
+
+    A key is *in flight* from its first :meth:`claim` until
+    :meth:`resolve`/:meth:`reject`; claims in between share the leader's
+    future.  After resolution the key is forgotten — a later claim
+    starts a fresh flight (the caller's result cache is expected to
+    absorb repeats of completed work).
+    """
+
+    def __init__(self) -> None:
+        self._futures: Dict[str, "asyncio.Future[Any]"] = {}
+        #: Claims that started a flight (== number of computations led).
+        self.leads = 0
+        #: Claims that attached to an existing flight (work saved).
+        self.joins = 0
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def in_flight(self, key: str) -> bool:
+        return key in self._futures
+
+    def claim(self, key: str) -> Tuple["asyncio.Future[Any]", bool]:
+        """Return ``(future, leader)`` for ``key``.
+
+        The first claimant of an idle key is the leader and owns the
+        obligation to :meth:`resolve` or :meth:`reject` it; followers
+        receive the same future and must not resolve it themselves.
+        """
+        existing = self._futures.get(key)
+        if existing is not None:
+            self.joins += 1
+            return existing, False
+        future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        self._futures[key] = future
+        self.leads += 1
+        return future, True
+
+    def _pop(self, key: str) -> "asyncio.Future[Any]":
+        try:
+            return self._futures.pop(key)
+        except KeyError:
+            raise KeyError(f"key {key!r} is not in flight") from None
+
+    def resolve(self, key: str, value: Any) -> None:
+        """Complete a flight, waking every claimant with ``value``."""
+        future = self._pop(key)
+        if not future.done():
+            future.set_result(value)
+
+    def reject(self, key: str, exc: BaseException) -> None:
+        """Fail a flight, raising ``exc`` in every claimant."""
+        future = self._pop(key)
+        if not future.done():
+            future.set_exception(exc)

@@ -1,0 +1,51 @@
+"""Async batch-serving front-end over the circuit-to-system simulator.
+
+The paper's pipeline answers one question per run — accuracy/power/area
+of one memory configuration at one voltage.  A production deployment
+answers that question for *many concurrent clients*, most of whom ask
+about the same handful of configurations.  This package serves that
+traffic efficiently without changing a single number:
+
+* :class:`~repro.serving.request.EvalRequest` — the canonical request
+  schema (``configuration × VDD × seed``) and its wire parsing.
+* :class:`~repro.serving.batcher.BatchingEvaluator` — collects
+  concurrent requests within a time/size window, answers repeats from
+  the content-addressed response cache, attaches duplicates to
+  in-flight evaluations (:class:`~repro.runtime.SingleFlight`), and
+  flushes each batch through one shared fault-injection pass
+  (:func:`~repro.fault.evaluate.evaluate_many_under_faults`).
+* :mod:`~repro.serving.server` — the JSON-lines protocol over stdin
+  (socket-free, testable) and TCP (``repro-sram serve``).
+
+Contract: every response is **bit-identical** to the sequential
+``CircuitToSystemSimulator.evaluate`` answer for the same request,
+whatever the batch composition, window, cache state or arrival order.
+``docs/serving.md`` documents the protocol and the contract; the
+property-based suite under ``tests/serving`` enforces it.
+"""
+
+from repro.serving.batcher import (
+    SERVE_NAMESPACE,
+    BatchingEvaluator,
+    ServingStats,
+    sequential_response,
+)
+from repro.serving.request import EvalRequest
+from repro.serving.server import (
+    respond_line,
+    respond_lines,
+    run_stdio,
+    serve_tcp,
+)
+
+__all__ = [
+    "SERVE_NAMESPACE",
+    "BatchingEvaluator",
+    "EvalRequest",
+    "ServingStats",
+    "respond_line",
+    "respond_lines",
+    "run_stdio",
+    "sequential_response",
+    "serve_tcp",
+]

@@ -1,0 +1,230 @@
+"""JSON-lines transport for the batch-serving front-end.
+
+One request per line, one response per line.  A request is a JSON
+object (see :class:`~repro.serving.request.EvalRequest.from_dict`);
+a response is::
+
+    {"ok": true,  "id": <echo or null>, "result": {...}}
+    {"ok": false, "id": <echo or null>, "error": "<message>"}
+
+The same protocol runs over two transports:
+
+* :func:`respond_lines` / :func:`run_stdio` — requests from an
+  in-memory sequence or stdin, responses in request order.  This is the
+  socket-free mode the test suite and shell pipelines use; because all
+  lines are submitted concurrently, it exercises the full batching and
+  coalescing machinery.
+* :func:`serve_tcp` — a line-oriented asyncio socket server.  Each
+  connection multiplexes requests: responses are written as they
+  complete, so clients match them to requests by the ``id`` echo.
+
+Malformed lines are answered with ``ok: false`` rather than dropping
+the connection — a serving process shared by many clients must not let
+one bad request interrupt the others.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Set, TextIO
+
+from repro.errors import ReproError
+from repro.serving.batcher import BatchingEvaluator
+from repro.serving.request import EvalRequest, parse_object_line
+
+
+#: Per-connection line-length ceiling (bytes).  Far above any legal
+#: request; a line this long is a protocol violation, answered inline
+#: before the connection closes.
+STREAM_LIMIT = 1 << 20
+
+
+def _dumps(payload: Dict[str, Any]) -> str:
+    """Canonical one-line JSON (stable key order, no stray whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+async def respond_line(evaluator: BatchingEvaluator, line: str) -> str:
+    """Answer one request line with one response line (never raises).
+
+    Parse errors and simulator rejections come back as ``ok: false``
+    responses with the library's message; an *unexpected* exception is
+    also answered inline (typed, detail-free) because a server shared
+    by many clients must not die for one request — only cancellation
+    propagates.  The ``id`` echo survives any failure the wire payload
+    carried it through, so a client can match the rejection to its
+    request.
+    """
+    request_id: Optional[str] = None
+    try:
+        payload = parse_object_line(line)
+        if isinstance(payload.get("id"), str):
+            request_id = payload["id"]
+        request = EvalRequest.from_dict(payload)
+        result = await evaluator.submit(request)
+    except ReproError as exc:
+        return _dumps({"ok": False, "id": request_id, "error": str(exc)})
+    except asyncio.CancelledError:
+        raise
+    except Exception as exc:
+        return _dumps(
+            {
+                "ok": False,
+                "id": request_id,
+                "error": f"internal error ({type(exc).__name__})",
+            }
+        )
+    return _dumps({"ok": True, "id": request_id, "result": result})
+
+
+async def respond_lines(
+    evaluator: BatchingEvaluator, lines: Iterable[str]
+) -> List[str]:
+    """Answer a batch of request lines, responses in request order.
+
+    All requests are submitted concurrently, so identical lines
+    coalesce and distinct lines share fault-injection passes exactly as
+    they would arriving from concurrent socket clients.  Blank lines
+    are ignored.
+    """
+    stripped = [line for line in (ln.strip() for ln in lines) if line]
+    responses = await asyncio.gather(
+        *(respond_line(evaluator, line) for line in stripped)
+    )
+    return list(responses)
+
+
+def run_stdio(
+    evaluator: BatchingEvaluator,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> int:
+    """Serve one stdin-to-stdout exchange (the ``repro-sram serve --stdin``
+    mode).
+
+    Reads every line first, answers them all concurrently, writes the
+    responses in input order, and returns 0 — the contract a shell
+    pipeline (or a subprocess-driving test) wants.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+
+    async def _run() -> List[str]:
+        try:
+            return await respond_lines(evaluator, stdin.readlines())
+        finally:
+            await evaluator.close()
+
+    for response in asyncio.run(_run()):
+        print(response, file=stdout)
+    return 0
+
+
+async def _serve_connection(
+    evaluator: BatchingEvaluator,
+    reader: "asyncio.StreamReader",
+    writer: "asyncio.StreamWriter",
+) -> None:
+    """Multiplex one client: spawn a task per line, write as completed.
+
+    Abrupt disconnects (reset, kill) are a normal end of conversation,
+    not a server error: reads and writes tolerate ``ConnectionError``,
+    and a response whose client has gone is simply dropped.  A line
+    exceeding :data:`STREAM_LIMIT` is answered with an inline error and
+    then ends the conversation (the stream cannot be resynchronized).
+    Completed answer tasks retire themselves from ``tasks``, so a
+    long-lived connection holds state only for requests still in
+    flight.
+    """
+    write_lock = asyncio.Lock()
+    tasks: Set["asyncio.Task[None]"] = set()
+
+    async def write_line(response: str) -> None:
+        try:
+            async with write_lock:
+                writer.write(response.encode() + b"\n")
+                await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass  # client went away before its answer did
+
+    async def answer(line: str) -> None:
+        await write_line(await respond_line(evaluator, line))
+
+    try:
+        while True:
+            try:
+                raw = await reader.readline()
+            except ValueError:
+                # LimitOverrunError subclass: the line never fit the
+                # stream buffer, so no request boundary can be trusted
+                # from here on.
+                await write_line(_dumps({
+                    "ok": False,
+                    "id": None,
+                    "error": f"request line exceeds {STREAM_LIMIT} bytes",
+                }))
+                break
+            except (ConnectionError, OSError):  # pragma: no cover
+                break  # reset mid-read
+            if not raw:
+                break
+            line = raw.decode(errors="replace").strip()
+            if not line:
+                continue
+            task = asyncio.create_task(answer(line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        while tasks:
+            pending = tuple(tasks)
+            await asyncio.gather(*pending)
+            tasks.difference_update(pending)
+    finally:
+        for task in tuple(tasks):
+            task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass  # client went away mid-close
+
+
+async def serve_tcp(
+    evaluator: BatchingEvaluator,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> "asyncio.AbstractServer":
+    """Start (and return) the line-oriented TCP server.
+
+    ``port=0`` binds an ephemeral port — callers read the concrete one
+    off ``server.sockets[0].getsockname()``.  The caller owns the
+    server's lifetime (``async with server`` or ``server.close()``).
+    """
+
+    async def handler(
+        reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        await _serve_connection(evaluator, reader, writer)
+
+    return await asyncio.start_server(
+        handler, host=host, port=port, limit=STREAM_LIMIT
+    )
+
+
+def run_tcp_forever(evaluator: BatchingEvaluator, host: str, port: int) -> int:  # pragma: no cover
+    """Blocking TCP entry point for the CLI (serves until interrupted;
+    the serving machinery itself is exercised through serve_tcp)."""
+
+    async def _run() -> None:
+        server = await serve_tcp(evaluator, host=host, port=port)
+        bound = server.sockets[0].getsockname()
+        print(f"serving on {bound[0]}:{bound[1]} (JSON lines; Ctrl-C to stop)")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\n" + evaluator.stats.summary())
+    return 0

@@ -1,0 +1,88 @@
+"""Property-based layout invariance of the sharded Monte-Carlo path.
+
+PR 2's example-based suite checks a handful of shard counts; this one
+lets hypothesis pick the whole layout — population size, block
+granularity, shard count, per-shard ceiling — and asserts the library's
+headline guarantee for every draw: the merged result is **bit-identical**
+to the monolithic single-worker run, because block streams depend only
+on ``(seed, block index)`` and the tally merge is exact.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import ResultCache, ShardPlan
+from repro.sram.montecarlo import MonteCarloAnalyzer
+
+#: One voltage in the middle of the characterized range, where both
+#: pass/fail outcomes actually occur at small sample counts.
+VDD = 0.7
+
+_LAYOUTS = dict(
+    n_samples=st.integers(min_value=100, max_value=700),
+    block_samples=st.sampled_from((32, 64, 128, 256, 1024)),
+    shards=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(**_LAYOUTS)
+def test_sharded_tallies_bit_identical_to_monolithic(
+    cell6, n_samples, block_samples, shards, seed
+):
+    analyzer = MonteCarloAnalyzer(
+        cell=cell6, n_samples=n_samples, seed=seed, block_samples=block_samples
+    )
+    monolithic = analyzer.analyze(VDD)
+    sharded = analyzer.analyze_sharded(VDD, shards=shards, jobs=1, cache=None)
+    assert sharded == monolithic  # dataclass equality over every float
+
+
+@settings(max_examples=8, deadline=None)
+@given(**_LAYOUTS)
+def test_max_shard_samples_ceiling_never_changes_bits(
+    cell6, n_samples, block_samples, shards, seed
+):
+    analyzer = MonteCarloAnalyzer(
+        cell=cell6, n_samples=n_samples, seed=seed, block_samples=block_samples
+    )
+    ceiling = max(block_samples, n_samples // max(shards, 1), 1)
+    plan = analyzer.shard_plan(max_shard_samples=ceiling)
+    assert plan.max_samples_per_shard() <= max(ceiling, block_samples)
+    bounded = analyzer.analyze_sharded(VDD, max_shard_samples=ceiling, jobs=1)
+    assert bounded == analyzer.analyze(VDD)
+
+
+@settings(max_examples=8, deadline=None)
+@given(**_LAYOUTS)
+def test_resharding_reuses_cache_without_changing_bits(
+    cell6, n_samples, block_samples, shards, seed, tmp_path_factory
+):
+    analyzer = MonteCarloAnalyzer(
+        cell=cell6, n_samples=n_samples, seed=seed, block_samples=block_samples
+    )
+    cache = ResultCache(
+        cache_dir=str(tmp_path_factory.mktemp("layout-cache"))
+    )
+    first = analyzer.analyze_sharded(VDD, shards=shards, jobs=1, cache=cache)
+    # A different grouping of the same blocks may hit the per-shard
+    # entries of the first run (shard descriptors are layout-keyed, not
+    # plan-keyed) — and must merge to the same bits either way.
+    regrouped = analyzer.analyze_sharded(
+        VDD, shards=min(shards + 2, ShardPlan.plan(
+            n_samples, block_samples=block_samples).n_blocks),
+        jobs=1, cache=cache,
+    )
+    assert first == regrouped == analyzer.analyze(VDD)
+
+
+def test_layout_invariance_survives_process_fanout(cell6):
+    """One multi-worker spot check (kept out of hypothesis: each spawn
+    fan-out costs ~a second, and worker count cannot change bits that
+    shard count already doesn't)."""
+    analyzer = MonteCarloAnalyzer(
+        cell=cell6, n_samples=600, seed=1234, block_samples=64
+    )
+    parallel = analyzer.analyze_sharded(VDD, shards=5, jobs=2, cache=None)
+    assert parallel == analyzer.analyze(VDD)

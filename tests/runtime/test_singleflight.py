@@ -1,0 +1,111 @@
+"""Unit tests of the keyed single-flight primitive."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestClaim:
+    def test_first_claim_leads_later_claims_join(self):
+        async def scenario():
+            flight = SingleFlight()
+            f1, leader1 = flight.claim("k")
+            f2, leader2 = flight.claim("k")
+            assert leader1 is True and leader2 is False
+            assert f1 is f2
+            assert flight.leads == 1 and flight.joins == 1
+            assert len(flight) == 1 and flight.in_flight("k")
+            flight.resolve("k", 42)
+            assert await f1 == 42 and await f2 == 42
+            assert len(flight) == 0 and not flight.in_flight("k")
+
+        run(scenario())
+
+    def test_distinct_keys_fly_separately(self):
+        async def scenario():
+            flight = SingleFlight()
+            fa, la = flight.claim("a")
+            fb, lb = flight.claim("b")
+            assert la and lb and fa is not fb
+            flight.resolve("a", "A")
+            flight.resolve("b", "B")
+            assert (await fa, await fb) == ("A", "B")
+
+        run(scenario())
+
+    def test_key_is_reusable_after_resolution(self):
+        async def scenario():
+            flight = SingleFlight()
+            f1, _ = flight.claim("k")
+            flight.resolve("k", 1)
+            f2, leader = flight.claim("k")
+            assert leader is True and f2 is not f1
+            flight.resolve("k", 2)
+            assert await f1 == 1 and await f2 == 2
+            assert flight.leads == 2
+
+        run(scenario())
+
+
+class TestSettlement:
+    def test_reject_raises_in_every_claimant(self):
+        async def scenario():
+            flight = SingleFlight()
+            f1, _ = flight.claim("k")
+            f2, _ = flight.claim("k")
+            flight.reject("k", ValueError("boom"))
+            with pytest.raises(ValueError, match="boom"):
+                await f1
+            with pytest.raises(ValueError, match="boom"):
+                await f2
+
+        run(scenario())
+
+    def test_settling_an_unknown_key_raises(self):
+        async def scenario():
+            flight = SingleFlight()
+            with pytest.raises(KeyError, match="not in flight"):
+                flight.resolve("ghost", 1)
+            with pytest.raises(KeyError, match="not in flight"):
+                flight.reject("ghost", RuntimeError())
+
+        run(scenario())
+
+    def test_resolve_after_waiter_cancelled_is_safe(self):
+        async def scenario():
+            flight = SingleFlight()
+            future, _ = flight.claim("k")
+            future.cancel()
+            flight.resolve("k", 7)  # must not raise InvalidStateError
+            assert future.cancelled()
+
+        run(scenario())
+
+
+class TestConcurrentWaiters:
+    def test_many_waiters_one_computation(self):
+        async def scenario():
+            flight = SingleFlight()
+            computations = 0
+
+            async def fetch(key):
+                nonlocal computations
+                future, leader = flight.claim(key)
+                if leader:
+                    await asyncio.sleep(0.005)
+                    computations += 1
+                    flight.resolve(key, f"value-{key}")
+                return await future
+
+            results = await asyncio.gather(*(fetch("shared") for _ in range(16)))
+            assert results == ["value-shared"] * 16
+            assert computations == 1
+            assert flight.joins == 15
+
+        run(scenario())

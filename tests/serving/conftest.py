@@ -1,0 +1,31 @@
+"""Session fixtures for the serving suite.
+
+Deliberately the *same* model/table parameters as ``tests/core`` so the
+two suites share every on-disk cache entry (trained weights, per-point
+characterizations): a full-suite run trains once and characterizes
+once, however the suites are ordered.
+"""
+
+import pytest
+
+from repro.core import CircuitToSystemSimulator, train_benchmark_ann
+from repro.mem import CellTables
+
+
+@pytest.fixture(scope="session")
+def serving_model():
+    return train_benchmark_ann(
+        profile="fast", seed=0, n_train=4000, n_val=400, n_test=1000, epochs=10
+    )
+
+
+@pytest.fixture(scope="session")
+def serving_tables(tech):
+    return CellTables.build(technology=tech, n_samples=8000)
+
+
+@pytest.fixture(scope="session")
+def serving_sim(serving_model, serving_tables):
+    return CircuitToSystemSimulator(
+        serving_model, tables=serving_tables, n_trials=3
+    )

@@ -1,0 +1,238 @@
+"""End-to-end tests of the batching/deduplicating serving front-end.
+
+The acceptance bar of the serving layer, exercised here: a burst of
+concurrent identical-and-distinct requests coalesces into fewer
+fault-injection passes than requests, while every response stays
+byte-identical to the sequential ``CircuitToSystemSimulator`` answer.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import ResultCache
+from repro.serving import BatchingEvaluator, EvalRequest, sequential_response
+
+
+def canon(payload) -> str:
+    """Canonical response bytes (the unit of the byte-identity contract)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def submit_all(evaluator, requests):
+    """Submit every request concurrently on one event loop."""
+
+    async def run():
+        responses = await asyncio.gather(
+            *(evaluator.submit(r) for r in requests), return_exceptions=True
+        )
+        await evaluator.close()
+        return list(responses)
+
+    return asyncio.run(run())
+
+
+#: Four distinct evaluations covering every configuration family.
+DISTINCT = (
+    EvalRequest(config="base", vdd=0.70),
+    EvalRequest(config="base", vdd=0.80, seed=7),
+    EvalRequest(config="config1", vdd=0.65, msb_in_8t=3),
+    EvalRequest(config="config2", vdd=0.65, msb_per_layer=(2, 3, 1, 1, 3)),
+)
+
+
+@pytest.fixture(scope="module")
+def reference(serving_sim):
+    """Sequential oracle responses, canonicalized, keyed by request."""
+    return {
+        req: canon(sequential_response(serving_sim, req)) for req in DISTINCT
+    }
+
+
+class TestEndToEndCoalescing:
+    def test_concurrent_burst_coalesces_and_matches_sequential(
+        self, serving_sim, reference
+    ):
+        # >= 8 concurrent requests: every distinct one repeated, plus a
+        # repeat that differs only by transport id.
+        burst = list(DISTINCT) * 2 + [
+            EvalRequest(config="base", vdd=0.70, request_id="tagged"),
+            EvalRequest(config="config1", vdd=0.65, msb_in_8t=3,
+                        request_id="tagged-2"),
+        ]
+        assert len(burst) >= 8
+
+        evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                      batch_window=0.01, max_batch=64)
+        responses = submit_all(evaluator, burst)
+
+        # Fewer fault-injection passes than requests: one per distinct
+        # evaluation, with every repeat coalesced onto it.
+        assert evaluator.stats.requests == len(burst)
+        assert evaluator.stats.evaluations == len(DISTINCT)
+        assert evaluator.stats.evaluations < len(burst)
+        assert evaluator.stats.coalesced == len(burst) - len(DISTINCT)
+        assert evaluator.stats.batches == 1
+
+        # Byte-identity against the sequential path, repeat by repeat.
+        for request, response in zip(burst, responses):
+            key = EvalRequest(
+                config=request.config, vdd=request.vdd,
+                msb_in_8t=request.msb_in_8t,
+                msb_per_layer=request.msb_per_layer,
+                n_trials=request.n_trials, seed=request.seed,
+            )
+            assert canon(response) == reference[key]
+
+    def test_max_batch_splits_flushes_without_changing_bytes(
+        self, serving_sim, reference
+    ):
+        evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                      batch_window=0.2, max_batch=2)
+        responses = submit_all(evaluator, list(DISTINCT))
+        assert evaluator.stats.batches == 2  # 4 distinct / max_batch 2
+        assert evaluator.stats.evaluations == len(DISTINCT)
+        for request, response in zip(DISTINCT, responses):
+            assert canon(response) == reference[request]
+
+    def test_single_request_batch(self, serving_sim, reference):
+        evaluator = BatchingEvaluator(serving_sim, cache=None, batch_window=0.0)
+        (response,) = submit_all(evaluator, [DISTINCT[0]])
+        assert canon(response) == reference[DISTINCT[0]]
+        assert evaluator.stats.evaluations == 1
+
+
+class TestResponseCache:
+    def test_cache_serves_repeats_across_evaluators(
+        self, serving_sim, reference, tmp_path
+    ):
+        cache_dir = str(tmp_path / "serve-cache")
+        first = BatchingEvaluator(
+            serving_sim, cache=ResultCache(cache_dir=cache_dir), batch_window=0.0
+        )
+        cold = submit_all(first, list(DISTINCT))
+        assert first.stats.evaluations == len(DISTINCT)
+
+        second = BatchingEvaluator(
+            serving_sim, cache=ResultCache(cache_dir=cache_dir), batch_window=0.0
+        )
+        warm = submit_all(second, list(DISTINCT))
+        assert second.stats.cache_hits == len(DISTINCT)
+        assert second.stats.evaluations == 0
+        assert second.stats.batches == 0
+
+        # The cached bytes are the computed bytes are the sequential bytes.
+        for request, a, b in zip(DISTINCT, cold, warm):
+            assert canon(a) == canon(b) == reference[request]
+
+    def test_unwritable_response_store_degrades_not_hangs(
+        self, serving_sim, reference, tmp_path
+    ):
+        """A store that cannot be written (full disk, permissions) must
+        cost only the caching, never strand a claimed future."""
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupies the cache path")
+        evaluator = BatchingEvaluator(
+            serving_sim, cache=ResultCache(cache_dir=str(blocker)),
+            batch_window=0.0,
+        )
+        responses = submit_all(evaluator, list(DISTINCT[:2]))
+        assert evaluator.stats.evaluations == 2
+        for request, response in zip(DISTINCT[:2], responses):
+            assert canon(response) == reference[request]
+
+    def test_disabled_cache_recomputes(self, serving_sim, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path), enabled=False)
+        evaluator = BatchingEvaluator(serving_sim, cache=cache, batch_window=0.0)
+        submit_all(evaluator, [DISTINCT[0], DISTINCT[0]])
+        assert evaluator.stats.cache_hits == 0
+        assert evaluator.stats.evaluations == 1  # single-flight still dedupes
+
+
+class TestErrorHandling:
+    def test_bad_request_fails_alone(self, serving_sim, reference):
+        out_of_range = EvalRequest(config="base", vdd=5.0)  # > table range
+        evaluator = BatchingEvaluator(serving_sim, cache=None, batch_window=0.01)
+        responses = submit_all(
+            evaluator, [DISTINCT[0], out_of_range, DISTINCT[2]]
+        )
+        assert canon(responses[0]) == reference[DISTINCT[0]]
+        assert isinstance(responses[1], ConfigurationError)
+        assert "outside characterized range" in str(responses[1])
+        assert canon(responses[2]) == reference[DISTINCT[2]]
+        assert evaluator.stats.errors == 1
+        assert evaluator.stats.evaluations == 2
+
+    def test_coalesced_duplicates_share_the_failure(self, serving_sim):
+        bad = EvalRequest(config="base", vdd=5.0)
+        evaluator = BatchingEvaluator(serving_sim, cache=None, batch_window=0.01)
+        responses = submit_all(evaluator, [bad, bad, bad])
+        assert all(isinstance(r, ConfigurationError) for r in responses)
+        assert evaluator.stats.errors == 1  # one failed evaluation, shared
+        assert evaluator.stats.coalesced == 2
+
+
+class TestCancellation:
+    def test_cancelled_waiter_does_not_poison_coalesced_peers(
+        self, serving_sim, reference
+    ):
+        """The shared future belongs to the flush task; a waiter that
+        gives up (timeout, dropped connection) must not cancel the
+        result out from under the peers coalesced onto it."""
+
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.05)
+            leader = asyncio.create_task(evaluator.submit(DISTINCT[0]))
+            peer = asyncio.create_task(evaluator.submit(DISTINCT[0]))
+            await asyncio.sleep(0)  # both claimed; leader enqueued the work
+            leader.cancel()
+            response = await peer
+            await evaluator.close()
+            return evaluator, leader, response
+
+        evaluator, leader, response = asyncio.run(run())
+        assert leader.cancelled()
+        assert canon(response) == reference[DISTINCT[0]]
+        assert evaluator.stats.evaluations == 1
+
+
+class TestDrain:
+    def test_drain_flushes_before_the_window_expires(self, serving_sim, reference):
+        """``drain`` must answer pending requests immediately — a
+        shutdown path cannot sit out a long batch window."""
+
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=30.0)
+            tasks = [
+                asyncio.create_task(evaluator.submit(r)) for r in DISTINCT[:2]
+            ]
+            await asyncio.sleep(0)  # let the submits claim and enqueue
+            await evaluator.drain()  # well before the 30 s window
+            responses = [await t for t in tasks]
+            await evaluator.close()
+            return evaluator, responses
+
+        evaluator, responses = asyncio.run(run())
+        assert evaluator.stats.evaluations == 2
+        for request, response in zip(DISTINCT[:2], responses):
+            assert canon(response) == reference[request]
+
+
+class TestConstruction:
+    def test_rejects_bad_window_and_batch(self, serving_sim):
+        with pytest.raises(ConfigurationError, match="batch_window"):
+            BatchingEvaluator(serving_sim, batch_window=-0.1)
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            BatchingEvaluator(serving_sim, max_batch=0)
+
+    def test_stats_summary_mentions_every_counter(self, serving_sim):
+        evaluator = BatchingEvaluator(serving_sim, cache=None, batch_window=0.0)
+        submit_all(evaluator, [DISTINCT[0], DISTINCT[0]])
+        text = evaluator.stats.summary()
+        assert "2 requests" in text
+        assert "1 coalesced" in text
+        assert "1 evaluated" in text

@@ -1,0 +1,90 @@
+"""Property test: batch composition never changes a response byte.
+
+Seeded-random parametrization (the async driver makes hypothesis's
+shrinking machinery more trouble than it is worth here): each round
+draws a random multiset of requests, a random batch window and a
+random ``max_batch`` from a fixed-seed generator, submits the burst
+concurrently, and checks every response against the sequential oracle
+— plus the structural invariant that exactly one fault-injection pass
+ran per distinct request.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchingEvaluator, EvalRequest, sequential_response
+
+#: The request pool the random bursts draw from.
+POOL = (
+    EvalRequest(config="base", vdd=0.70),
+    EvalRequest(config="base", vdd=0.75),
+    EvalRequest(config="base", vdd=0.70, seed=11),
+    EvalRequest(config="base", vdd=0.70, n_trials=2),
+    EvalRequest(config="config1", vdd=0.65, msb_in_8t=3),
+    EvalRequest(config="config1", vdd=0.65, msb_in_8t=5),
+    EvalRequest(config="config2", vdd=0.65, msb_per_layer=(2, 3, 1, 1, 3)),
+)
+
+ROUNDS = 6
+
+
+def canon(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture(scope="module")
+def oracle(serving_sim):
+    """Sequential reference bytes for every pool entry (computed once)."""
+    return [canon(sequential_response(serving_sim, req)) for req in POOL]
+
+
+def _random_layouts():
+    rng = np.random.default_rng(20160314)
+    layouts = []
+    for _ in range(ROUNDS):
+        size = int(rng.integers(5, 13))
+        picks = rng.integers(0, len(POOL), size=size)
+        window = float(rng.choice((0.0, 0.002, 0.01)))
+        max_batch = int(rng.integers(1, 9))
+        layouts.append((tuple(int(p) for p in picks), window, max_batch))
+    return layouts
+
+
+@pytest.mark.parametrize(
+    "picks,window,max_batch",
+    _random_layouts(),
+    ids=[f"round{i}" for i in range(ROUNDS)],
+)
+def test_random_batch_composition_is_invisible(
+    serving_sim, oracle, picks, window, max_batch
+):
+    burst = [POOL[p] for p in picks]
+
+    async def run():
+        evaluator = BatchingEvaluator(
+            serving_sim, cache=None, batch_window=window, max_batch=max_batch
+        )
+        responses = await asyncio.gather(*(evaluator.submit(r) for r in burst))
+        await evaluator.close()
+        return evaluator, list(responses)
+
+    evaluator, responses = asyncio.run(run())
+
+    # Byte-identity, request by request, whatever the layout did.
+    for pick, response in zip(picks, responses):
+        assert canon(response) == oracle[pick], (
+            f"layout (window={window}, max_batch={max_batch}) changed "
+            f"the response of pool entry {pick}"
+        )
+
+    # Exactly one fault-injection pass per *distinct* request: the
+    # whole burst is claimed before any flush task runs, so repeats
+    # always attach to the leader regardless of window or max_batch.
+    distinct = len(set(picks))
+    assert evaluator.stats.evaluations == distinct
+    assert evaluator.stats.coalesced == len(picks) - distinct
+    if len(picks) > distinct:
+        assert evaluator.stats.evaluations < evaluator.stats.requests

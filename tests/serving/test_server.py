@@ -1,0 +1,198 @@
+"""Tests of the JSON-lines protocol over stdio and TCP."""
+
+import asyncio
+import io
+import json
+
+from repro.serving import (
+    BatchingEvaluator,
+    EvalRequest,
+    respond_lines,
+    run_stdio,
+    sequential_response,
+    serve_tcp,
+)
+from repro.serving.server import STREAM_LIMIT
+
+
+def line(**payload) -> str:
+    return json.dumps(payload)
+
+
+def canon(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class TestRespondLines:
+    def test_responses_in_request_order_with_id_echo(self, serving_sim):
+        lines = [
+            line(config="base", vdd=0.70, id="first"),
+            line(config="config1", vdd=0.65, msb_in_8t=3, id="second"),
+            line(config="base", vdd=0.70, id="third"),  # repeat of "first"
+        ]
+
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.01)
+            out = await respond_lines(evaluator, lines)
+            await evaluator.close()
+            return evaluator, out
+
+        evaluator, out = asyncio.run(run())
+        decoded = [json.loads(o) for o in out]
+        assert [d["id"] for d in decoded] == ["first", "second", "third"]
+        assert all(d["ok"] for d in decoded)
+        # The repeat shares the leader's evaluation but gets its own line.
+        assert decoded[0]["result"] == decoded[2]["result"]
+        assert evaluator.stats.evaluations == 2
+
+        reference = sequential_response(
+            serving_sim, EvalRequest(config="base", vdd=0.70)
+        )
+        assert canon(decoded[0]["result"]) == canon(reference)
+
+    def test_blank_lines_skipped_and_errors_inline(self, serving_sim):
+        lines = [
+            "",
+            "   ",
+            "{broken",
+            line(config="base", vdd=99.0, id="hot"),
+            line(config="nope", vdd=0.7, id="bad-config"),
+            line(config="base", vdd=0.70, id="ok"),
+        ]
+
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.0)
+            out = await respond_lines(evaluator, lines)
+            await evaluator.close()
+            return out
+
+        decoded = [json.loads(o) for o in asyncio.run(run())]
+        assert len(decoded) == 4  # blanks dropped
+        assert decoded[0]["ok"] is False and decoded[0]["id"] is None
+        assert "not valid JSON" in decoded[0]["error"]
+        assert decoded[1]["ok"] is False and decoded[1]["id"] == "hot"
+        assert "outside characterized range" in decoded[1]["error"]
+        assert decoded[2]["ok"] is False and decoded[2]["id"] == "bad-config"
+        assert decoded[3]["ok"] is True and decoded[3]["id"] == "ok"
+
+    def test_bad_seed_fails_alone_without_killing_the_batch(self, serving_sim):
+        lines = [
+            line(config="base", vdd=0.70, seed=-5, id="negative"),
+            line(config="base", vdd=0.70, id="fine"),
+        ]
+
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.0)
+            out = await respond_lines(evaluator, lines)
+            await evaluator.close()
+            return out
+
+        decoded = [json.loads(o) for o in asyncio.run(run())]
+        assert decoded[0]["ok"] is False and decoded[0]["id"] == "negative"
+        assert "non-negative" in decoded[0]["error"]
+        assert decoded[1]["ok"] is True and decoded[1]["id"] == "fine"
+
+    def test_unexpected_failure_is_answered_not_propagated(self, serving_sim):
+        """A programming error behind one request must come back as an
+        inline internal-error response, not kill the server loop."""
+
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.0)
+
+            async def exploding_submit(request):
+                raise RuntimeError("wires crossed")
+
+            evaluator.submit = exploding_submit
+            out = await respond_lines(
+                evaluator, [line(config="base", vdd=0.70, id="boom")]
+            )
+            await evaluator.close()
+            return out
+
+        (response,) = [json.loads(o) for o in asyncio.run(run())]
+        assert response["ok"] is False and response["id"] == "boom"
+        assert response["error"] == "internal error (RuntimeError)"
+
+
+class TestStdio:
+    def test_stdin_stdout_exchange(self, serving_sim):
+        stdin = io.StringIO(
+            line(config="base", vdd=0.70, id="a") + "\n"
+            + line(config="base", vdd=0.70, id="b") + "\n"
+        )
+        stdout = io.StringIO()
+        evaluator = BatchingEvaluator(serving_sim, cache=None, batch_window=0.0)
+        code = run_stdio(evaluator, stdin=stdin, stdout=stdout)
+        assert code == 0
+        decoded = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        assert [d["id"] for d in decoded] == ["a", "b"]
+        assert decoded[0]["result"] == decoded[1]["result"]
+        assert evaluator.stats.evaluations == 1  # the pair coalesced
+
+
+class TestTcp:
+    def test_multiplexed_connection(self, serving_sim):
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.01)
+            server = await serve_tcp(evaluator, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            requests = [
+                line(config="base", vdd=0.70, id=f"r{i}") for i in range(6)
+            ] + ["", line(config="config1", vdd=0.65, msb_in_8t=3, id="r6")]
+            writer.write(("\n".join(requests) + "\n").encode())
+            await writer.drain()
+            writer.write_eof()
+            received = []
+            while len(received) < 7:
+                raw = await asyncio.wait_for(reader.readline(), timeout=30)
+                assert raw, "server closed before answering everything"
+                received.append(json.loads(raw))
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            await evaluator.close()
+            return evaluator, received
+
+        evaluator, received = asyncio.run(run())
+        assert {d["id"] for d in received} == {f"r{i}" for i in range(7)}
+        assert all(d["ok"] for d in received)
+        # 7 requests over the wire, only 2 distinct evaluations.
+        assert evaluator.stats.evaluations == 2
+        assert evaluator.stats.coalesced == 5
+
+    def test_oversized_line_answered_inline_then_closed(self, serving_sim):
+        """A line the stream buffer cannot hold is a protocol violation:
+        the client gets an inline error, not a silent hangup."""
+
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.0)
+            server = await serve_tcp(evaluator, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"x" * (STREAM_LIMIT + 4096) + b"\n")
+            response = json.loads(
+                await asyncio.wait_for(reader.readline(), timeout=30)
+            )
+            eof = await asyncio.wait_for(reader.readline(), timeout=30)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # server already tore the stream down
+            server.close()
+            await server.wait_closed()
+            await evaluator.close()
+            return response, eof
+
+        response, eof = asyncio.run(run())
+        assert response["ok"] is False
+        assert "exceeds" in response["error"]
+        assert eof == b""  # the connection was closed after the error

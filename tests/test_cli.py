@@ -57,6 +57,23 @@ class TestParser:
         with pytest.raises(ConfigurationError, match="unknown technology"):
             main(["characterize", "--tech", "ptm3000", "--samples", "2000"])
 
+    def test_serve_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000",
+             "--batch-window", "0.05", "--max-batch", "8", "--stdin"]
+        )
+        assert args.command == "serve"
+        assert args.host == "0.0.0.0" and args.port == 9000
+        assert args.batch_window == 0.05 and args.max_batch == 8
+        assert args.stdin is True
+        defaults = parser.parse_args(["serve"])
+        assert defaults.stdin is False
+        assert defaults.batch_window == 0.01 and defaults.max_batch == 32
+        # serve shares the sweep-runtime knobs (it builds the same
+        # simulator under the hood).
+        assert defaults.jobs is None and defaults.no_cache is False
+
 
 class TestCharacterizeCommand:
     def test_characterize_prints_table(self, capsys, tmp_cache):

@@ -1,0 +1,56 @@
+"""Repository hygiene meta-tests.
+
+Bytecode artifacts (``__pycache__``, ``*.pyc``) are machine-local noise:
+committing them bloats diffs and — worse — lets a stale ``.pyc`` shadow
+a renamed module for whoever checks the tree out next.  These tests
+assert git never tracks any, and that the ignore rules that keep it
+that way stay in place.
+"""
+
+import os
+import shutil
+import subprocess
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _git_ls_files():
+    git = shutil.which("git")
+    if git is None or not os.path.isdir(os.path.join(REPO, ".git")):
+        pytest.skip("not running from a git checkout")
+    result = subprocess.run(
+        [git, "-C", REPO, "ls-files"],
+        capture_output=True, text=True, check=True,
+    )
+    return result.stdout.splitlines()
+
+def test_no_bytecode_artifacts_tracked():
+    offenders = [
+        path for path in _git_ls_files()
+        if "__pycache__" in path.split("/")
+        or path.endswith((".pyc", ".pyo"))
+    ]
+    assert not offenders, (
+        "bytecode artifacts are tracked — `git rm -r --cached` them:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_gitignore_covers_bytecode():
+    with open(os.path.join(REPO, ".gitignore")) as fh:
+        rules = {line.strip() for line in fh if line.strip()}
+    assert "__pycache__/" in rules
+    assert "*.py[co]" in rules or {"*.pyc", "*.pyo"} <= rules
+
+
+def test_no_cache_or_results_directories_tracked():
+    """The runtime caches and benchmark outputs are reproducible
+    artifacts; tracking them would defeat the content-addressed cache's
+    versioning (stale entries would reappear on every checkout)."""
+    offenders = [
+        path for path in _git_ls_files()
+        if path.startswith((".repro_cache/", "benchmarks/results/"))
+    ]
+    assert not offenders, "generated artifacts tracked:\n" + "\n".join(offenders)
