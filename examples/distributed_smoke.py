@@ -1,0 +1,120 @@
+"""Distributed-dispatch smoke: 2 real workers, one killed mid-run.
+
+This is the end-to-end acceptance script of the distributed subsystem
+(CI runs it on every push):
+
+1. start a :class:`~repro.distributed.ShardDispatcher` on localhost,
+2. spawn two genuine worker *subprocesses* via the CLI
+   (``repro-sram worker --connect ...``) sharing one cache store,
+3. dispatch an 8-shard Monte-Carlo voltage point to the fleet,
+4. ``SIGKILL`` one worker as soon as it holds a shard assignment,
+5. assert the merged result is **byte-identical** to the monolithic
+   single-host ``analyze`` answer, and that the dispatcher recorded the
+   death and the reassignment.
+
+Run it directly::
+
+    PYTHONPATH=src python examples/distributed_smoke.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.devices import ptm22
+from repro.distributed import DirectoryStore, ShardDispatcher
+from repro.sram import make_cell
+from repro.sram.montecarlo import MonteCarloAnalyzer
+
+SAMPLES = int(os.environ.get("SMOKE_SAMPLES", "12000"))
+SHARDS = 8
+VDD = 0.70
+
+
+def spawn_worker(host, port, store_dir, name):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker",
+         "--connect", f"{host}:{port}", "--cache-dir", store_dir,
+         "--name", name],
+        env=os.environ.copy(),
+    )
+
+
+def main() -> int:
+    analyzer = MonteCarloAnalyzer(
+        cell=make_cell("6t", ptm22()),
+        n_samples=SAMPLES,
+        block_samples=max(1, SAMPLES // SHARDS),
+    )
+    print(f"monolithic reference: {SAMPLES} samples at {VDD} V ...")
+    reference = analyzer.analyze(VDD)
+
+    store_dir = tempfile.mkdtemp(prefix="repro-dist-smoke-")
+    dispatcher = ShardDispatcher(
+        store=DirectoryStore(store_dir),
+        heartbeat_interval=0.2,
+        heartbeat_timeout=1.0,
+    )
+    host, port = dispatcher.start()
+    print(f"dispatcher on {host}:{port}, store {store_dir}")
+
+    victim = spawn_worker(host, port, store_dir, "victim")
+    survivor = spawn_worker(host, port, store_dir, "survivor")
+    try:
+        dispatcher.await_workers(2, timeout=120)
+        print("2 workers registered; dispatching "
+              f"{SHARDS} shards, killing 'victim' mid-run")
+
+        outcome = {}
+
+        def drive():
+            outcome["rates"] = analyzer.analyze_sharded(
+                VDD, shards=SHARDS, dispatcher=dispatcher
+            )
+
+        run = threading.Thread(target=drive)
+        run.start()
+
+        # SIGKILL the victim the moment it holds a shard assignment.
+        deadline = time.monotonic() + 120
+        while (dispatcher.stats.per_worker.get("victim", 0) == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert dispatcher.stats.per_worker.get("victim", 0) > 0, (
+            "victim never received an assignment"
+        )
+        victim.kill()
+        victim.wait(timeout=30)
+        print("victim killed (SIGKILL) after "
+              f"{dispatcher.stats.per_worker['victim']} assignment(s)")
+
+        run.join(timeout=300)
+        assert not run.is_alive(), "dispatch did not complete"
+        rates = outcome["rates"]
+
+        identical = (
+            json.dumps(rates.to_dict(), sort_keys=True)
+            == json.dumps(reference.to_dict(), sort_keys=True)
+        )
+        print(dispatcher.stats.summary())
+        assert identical, "distributed merge differs from monolithic analyze"
+        assert dispatcher.stats.workers_lost >= 1, "worker death not recorded"
+        assert dispatcher.stats.completed == SHARDS
+        print("distributed smoke OK: byte-identical merge after "
+              f"{dispatcher.stats.retries} reassignment(s)")
+        return 0
+    finally:
+        survivor.terminate()
+        survivor.wait(timeout=30)
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=30)
+        dispatcher.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from repro.core import (
 )
 from repro.devices.technology import get_technology
 from repro.mem import CellTables
-from repro.runtime import ResultCache
+from repro.runtime import DEFAULT_BLOCK_SAMPLES, ResultCache
 from repro.sram import characterize_cell
 from repro.sram.area import format_area
 from repro.units import format_si
@@ -159,8 +159,13 @@ def cmd_allocate(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.serving import BatchingEvaluator, run_stdio
-    from repro.serving.server import run_tcp_forever
+    from repro.serving.server import format_stats, request_stats, run_tcp_forever
 
+    if args.stats:
+        # Probe mode: ask a *running* server for its counters — no
+        # simulator build, no evaluation.
+        print(format_stats(request_stats(args.host, args.port)))
+        return 0
     sim = _build_sim(args)
     evaluator = BatchingEvaluator(
         sim,
@@ -174,7 +179,89 @@ def cmd_serve(args) -> int:
         code = run_stdio(evaluator)
         print(evaluator.stats.summary(), file=sys.stderr)
         return code
-    return run_tcp_forever(evaluator, args.host, args.port)
+    return run_tcp_forever(evaluator, args.host, args.port,
+                           max_inflight=args.max_inflight)
+
+
+def _parse_endpoint(value: str, flag: str) -> tuple:
+    """``HOST:PORT`` → ``(host, port)`` with a CLI-grade error."""
+    from repro.errors import ConfigurationError
+
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(f"{flag} expects HOST:PORT, got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"{flag} port must be an integer, got {port!r}"
+        ) from None
+
+
+def cmd_worker(args) -> int:
+    from repro.distributed import run_worker
+
+    host, port = _parse_endpoint(args.connect, "--connect")
+    return run_worker(
+        host, port,
+        cache_dir=args.cache_dir,
+        name=args.name,
+        max_jobs=args.max_jobs,
+    )
+
+
+def cmd_dispatch(args) -> int:
+    from repro.distributed import DirectoryStore, ShardDispatcher
+    from repro.serving.server import format_stats, request_stats
+    from repro.sram import DEFAULT_VDD_GRID, make_cell
+    from repro.sram.montecarlo import MonteCarloAnalyzer
+
+    if args.stats:
+        host, port = _parse_endpoint(args.connect, "--connect")
+        print(format_stats(request_stats(host, port)))
+        return 0
+
+    listen_host, listen_port = _parse_endpoint(args.listen, "--listen")
+    cell = make_cell(args.cell, get_technology(args.tech))
+    analyzer = MonteCarloAnalyzer(
+        cell=cell,
+        n_samples=args.samples,
+        block_samples=(args.block_samples if args.block_samples is not None
+                       else DEFAULT_BLOCK_SAMPLES),
+    )
+    vdds = tuple(args.vdd) if args.vdd else DEFAULT_VDD_GRID
+    with ShardDispatcher(
+        store=DirectoryStore(args.cache_dir),
+        max_retries=args.max_retries,
+    ) as dispatcher:
+        host, port = dispatcher.start(listen_host, listen_port)
+        print(f"dispatching on {host}:{port} "
+              f"(store {dispatcher.store.describe()}); "
+              f"waiting for {args.min_workers} worker(s)")
+        dispatcher.await_workers(args.min_workers)
+        # Default the shard count to the fleet size: one shard per
+        # worker is the natural grain when none was requested.
+        shards = args.shards if args.shards is not None else max(
+            1, dispatcher.stats.active_workers
+        )
+        rows = []
+        for vdd in vdds:
+            rates = analyzer.analyze_sharded(
+                vdd, shards=shards,
+                max_shard_samples=args.max_shard_samples,
+                dispatcher=dispatcher,
+            )
+            rows.append([vdd, f"{rates.p_read_access:.3e}",
+                         f"{rates.p_write:.3e}",
+                         f"{rates.p_read_disturb:.3e}",
+                         f"{rates.p_cell:.3e}"])
+        print(f"{args.cell.upper()} cell, {args.tech}, {args.samples} MC "
+              f"samples, {shards} shard(s) per point:")
+        print(format_table(
+            ["VDD", "P(read acc)", "P(write)", "P(disturb)", "P(cell)"], rows,
+        ))
+        print(dispatcher.stats.summary())
+    return 0
 
 
 def cmd_cache(args) -> int:
@@ -242,8 +329,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stdin", action="store_true",
                    help="read JSON-lines requests from stdin, answer on "
                         "stdout, exit (socket-free mode)")
+    p.add_argument("--max-inflight", type=int, default=64, metavar="N",
+                   help="per-connection in-flight request ceiling; excess "
+                        "requests get structured 'overloaded' errors "
+                        "(default 64)")
+    p.add_argument("--stats", action="store_true",
+                   help="probe a RUNNING server at --host/--port for its "
+                        "serving counters and exit (starts nothing)")
     _add_common(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="distributed shard worker: connect to a dispatcher, execute "
+             "shard jobs next to a shared cache store",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="dispatcher endpoint to register with")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared cache-store directory (default: "
+                        "REPRO_CACHE_DIR, else ./.repro_cache); point every "
+                        "worker and the dispatcher at the same store")
+    p.add_argument("--name", default=None,
+                   help="worker name in dispatcher stats (default host-pid)")
+    p.add_argument("--max-jobs", type=int, default=None, metavar="K",
+                   help="exit cleanly after K jobs (drain hook for rolling "
+                        "restarts; default: serve until the dispatcher stops)")
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "dispatch",
+        help="distributed Monte-Carlo dispatcher: farm one cell's "
+             "failure-rate sweep to connected workers and merge exactly",
+    )
+    p.add_argument("--listen", default="127.0.0.1:8417", metavar="HOST:PORT",
+                   help="endpoint to accept workers on (default "
+                        "127.0.0.1:8417; port 0 = ephemeral)")
+    p.add_argument("--connect", default="127.0.0.1:8417", metavar="HOST:PORT",
+                   help="with --stats: the running dispatcher to probe")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared cache-store directory (see worker --cache-dir)")
+    p.add_argument("--max-retries", type=int, default=3, metavar="R",
+                   help="reassignments per shard before the run fails "
+                        "(default 3)")
+    p.add_argument("--min-workers", type=int, default=1, metavar="N",
+                   help="wait for N registered workers before dispatching "
+                        "(default 1)")
+    p.add_argument("--cell", choices=["6t", "8t"], default="6t")
+    p.add_argument("--tech", default="ptm22", help="technology name")
+    p.add_argument("--samples", type=int, default=8000,
+                   help="Monte-Carlo samples per voltage point")
+    p.add_argument("--vdd", type=float, action="append", default=None,
+                   metavar="V", help="voltage point (repeatable; default: "
+                                     "the standard characterization grid)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="shards per voltage point (default: one per "
+                        "connected worker)")
+    p.add_argument("--max-shard-samples", type=int, default=None, metavar="M",
+                   help="cap any shard at M samples, raising the shard "
+                        "count as needed")
+    p.add_argument("--block-samples", type=int, default=None, metavar="B",
+                   help="samples per seeded block (population-defining; "
+                        "default 32768)")
+    p.add_argument("--stats", action="store_true",
+                   help="probe a RUNNING dispatcher at --connect for its "
+                        "counters and exit (starts nothing)")
+    p.set_defaults(func=cmd_dispatch)
 
     p = sub.add_parser("cache", help="inspect or clear the shared result cache")
     p.add_argument("action", choices=["stats", "clear"])

@@ -1,0 +1,65 @@
+"""Distributed shard dispatcher: multi-machine Monte-Carlo execution.
+
+This subpackage takes the single-host sharding layer
+(:mod:`repro.runtime.sharding`) across machine boundaries.  A
+:class:`~repro.distributed.dispatcher.ShardDispatcher` farms
+serializable :class:`~repro.distributed.jobs.ShardJob` descriptors to a
+fleet of :class:`~repro.distributed.worker.Worker` processes over the
+library's JSON-lines TCP protocol, and folds their tallies with the
+same exact (grouping-independent) merge the local path uses — so a
+distributed run is **bit-identical** to a monolithic one for any worker
+count, any retry history and any cache state.
+
+The pieces:
+
+* :mod:`~repro.distributed.store` — the shared
+  :class:`~repro.distributed.store.CacheStore` (a
+  :class:`~repro.distributed.store.DirectoryStore` over the
+  content-addressed result cache) that makes recomputation idempotent
+  and lets local and distributed runs resume from each other's work;
+* :mod:`~repro.distributed.jobs` — wire-format shard jobs plus the
+  worker-side execution registry (``margin_tally`` ships built in);
+* :mod:`~repro.distributed.protocol` — the message vocabulary
+  (register / ready / assign / result / heartbeat / stats);
+* :mod:`~repro.distributed.dispatcher` /
+  :mod:`~repro.distributed.worker` — the two processes, with
+  heartbeat-based liveness, retry/reassignment of shards from dead
+  workers, and streaming merges.
+
+Deployment topology, failure semantics and the cache-store contract
+are documented in ``docs/distributed.md``; the CLI front-ends are
+``repro-sram dispatch`` and ``repro-sram worker``.
+"""
+
+from repro.distributed.dispatcher import (
+    DispatchError,
+    DispatcherStats,
+    ShardDispatcher,
+)
+from repro.distributed.jobs import (
+    ShardJob,
+    analyzer_from_spec,
+    execute_job,
+    margin_tally_jobs,
+    register_job_kind,
+)
+from repro.distributed.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.distributed.store import CacheStore, DirectoryStore
+from repro.distributed.worker import Worker, run_worker
+
+__all__ = [
+    "CacheStore",
+    "DirectoryStore",
+    "DispatchError",
+    "DispatcherStats",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ShardDispatcher",
+    "ShardJob",
+    "Worker",
+    "analyzer_from_spec",
+    "execute_job",
+    "margin_tally_jobs",
+    "register_job_kind",
+    "run_worker",
+]

@@ -1,0 +1,674 @@
+"""The shard dispatcher: farm :class:`ShardJob`\\ s to a worker fleet.
+
+Topology: the dispatcher listens on one TCP port; workers connect,
+register and *pull* work (a worker announces ``ready``, the dispatcher
+assigns at most one job per ready worker), so a slow worker never
+accumulates a private backlog.  Results stream back inline and are
+merged as they arrive; every result is also persisted to the shared
+:class:`~repro.distributed.store.CacheStore` by the worker that
+computed it.
+
+Failure model — everything reduces to *recompute is free, results are
+exact*:
+
+* **Dead or slow workers.**  Liveness is heartbeat-based (workers beat
+  during computation, off their event loop).  A worker that misses
+  ``heartbeat_timeout`` — or whose connection drops — is retired and
+  its in-flight job is requeued, up to ``max_retries`` reassignments
+  per job.
+* **Duplicated work.**  A retired-but-alive worker may still finish
+  its shard.  Its late result is *accepted* if the job is still open
+  (first answer wins — all answers are bit-identical by the
+  determinism contract) and ignored otherwise; the shared store
+  dedupes the wasted recompute for every future run.
+* **Exactness.**  Merging uses the caller's exact reduce (integer
+  tallies + ``fsum``, see :class:`~repro.sram.montecarlo.MarginTally`),
+  and the merge is folded *streaming* over the contiguous completed
+  prefix of the shard order — bounded dispatcher memory, bit-identical
+  to any other grouping.
+
+The combination is the acceptance bar of this subsystem: a sweep
+dispatched to N workers, with any of them killed mid-run, produces
+byte-identical results to a monolithic single-host ``analyze``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import (
+    Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple,
+)
+
+from repro.errors import ReproError
+from repro.distributed.jobs import ShardJob
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    STREAM_LIMIT,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.distributed.store import CacheStore
+
+#: Default seconds between worker heartbeats (dispatcher-chosen; the
+#: value travels to workers in the ``welcome`` message).
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+#: Missed-heartbeat multiple after which a worker is presumed dead.
+HEARTBEAT_TIMEOUT_FACTOR = 4.0
+
+
+class DispatchError(ReproError):
+    """A distributed run could not complete (retries exhausted, …)."""
+
+
+@dataclass
+class DispatcherStats:
+    """Counters describing one dispatcher's lifetime of work.
+
+    ``completed`` splits by where the answer came from: ``store_hits``
+    (the dispatcher's own store, no assignment at all),
+    ``worker_cache_hits`` (a worker's store lookup) and ``computed``
+    (actually executed).  ``retries`` counts reassignments after worker
+    death or failure; ``per_worker`` maps worker name → assignments,
+    which is how an operator (or the smoke test) sees who did what.
+    """
+
+    jobs: int = 0
+    completed: int = 0
+    store_hits: int = 0
+    worker_cache_hits: int = 0
+    computed: int = 0
+    assignments: int = 0
+    retries: int = 0
+    failures: int = 0
+    workers_seen: int = 0
+    workers_lost: int = 0
+    active_workers: int = 0
+    per_worker: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot (the ``stats`` probe response)."""
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"{self.jobs} jobs: {self.store_hits} store hits, "
+            f"{self.worker_cache_hits} worker cache hits, "
+            f"{self.computed} computed, {self.retries} retries, "
+            f"{self.failures} failures; "
+            f"{self.active_workers} active / {self.workers_seen} seen / "
+            f"{self.workers_lost} lost workers"
+        )
+
+
+class _WorkerConn:
+    """Dispatcher-side state of one registered worker connection."""
+
+    def __init__(self, name: str, writer: "asyncio.StreamWriter", now: float):
+        self.name = name
+        self.writer = writer
+        # Serializes handler replies, assignment tasks and shutdown on
+        # one stream: two coroutines awaiting the same drain() is an
+        # asyncio flow-control assertion error.
+        self.write_lock = asyncio.Lock()
+        self.last_seen = now
+        self.current: Optional["_JobState"] = None
+        self.retired = False
+
+    async def send(self, payload: Dict[str, Any]) -> None:
+        async with self.write_lock:
+            await send_message(self.writer, payload)
+
+
+class _JobState:
+    """One job's dispatch bookkeeping (attempts, current assignee)."""
+
+    def __init__(self, job: ShardJob, position: int):
+        self.job = job
+        self.position = position
+        self.attempts = 0
+        self.worker: Optional[_WorkerConn] = None
+
+
+class _Run:
+    """One :meth:`ShardDispatcher.run` invocation: jobs + streaming merge."""
+
+    def __init__(
+        self,
+        jobs: Sequence[ShardJob],
+        decode: Optional[Callable[[Any], Any]],
+        merge: Optional[Callable[[Sequence[Any]], Any]],
+    ):
+        self.future: "asyncio.Future[Any]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self.decode = decode
+        self.merge = merge
+        self.remaining = len(jobs)
+        # merge=None collects raw values in job order instead.
+        self.values: List[Any] = [None] * len(jobs)
+        self._buffer: Dict[int, Any] = {}
+        self._merged: Any = None
+        self._next = 0
+
+    def accept(self, position: int, value: Any) -> None:
+        decoded = value if self.decode is None else self.decode(value)
+        if self.merge is None:
+            self.values[position] = decoded
+        else:
+            # Fold the contiguous completed prefix: the merge is exact
+            # (grouping-independent), so incremental folding returns the
+            # same bits as a single merge over all shards — with O(gap)
+            # instead of O(n_shards) held in memory.
+            self._buffer[position] = decoded
+            while self._next in self._buffer:
+                head = self._buffer.pop(self._next)
+                self._merged = (
+                    head if self._merged is None
+                    else self.merge([self._merged, head])
+                )
+                self._next += 1
+        self.remaining -= 1
+        if self.remaining == 0 and not self.future.done():
+            self.future.set_result(
+                self._merged if self.merge is not None else list(self.values)
+            )
+
+    def fail(self, exc: Exception) -> None:
+        if not self.future.done():
+            self.future.set_exception(exc)
+
+
+class ShardDispatcher:
+    """Work-queue dispatcher for :class:`~repro.distributed.jobs.ShardJob`\\ s.
+
+    Two usage styles share one implementation:
+
+    * **async** — ``server = await dispatcher.serve(host, port)`` then
+      ``merged = await dispatcher.run(jobs, decode=..., merge=...)``
+      inside an event loop the caller owns;
+    * **sync facade** — ``host, port = dispatcher.start()`` spins the
+      event loop on a daemon thread, ``dispatcher.dispatch(jobs, ...)``
+      blocks until the merge completes, ``dispatcher.close()`` tears
+      down.  This is what lets the synchronous analysis API
+      (:meth:`~repro.sram.montecarlo.MonteCarloAnalyzer.analyze_sharded`
+      with ``dispatcher=``) farm work out without going async itself.
+
+    Parameters
+    ----------
+    store:
+        Shared :class:`~repro.distributed.store.CacheStore`.  The
+        dispatcher consults it before queueing a job (resume support);
+        ``None`` skips dispatcher-side lookups and leaves store use to
+        the workers.
+    max_retries:
+        Reassignment budget per job; the run fails once one job has
+        been handed out ``max_retries + 1`` times without an answer.
+    heartbeat_interval / heartbeat_timeout:
+        Liveness cadence; the timeout defaults to
+        ``HEARTBEAT_TIMEOUT_FACTOR × interval``.
+    """
+
+    def __init__(
+        self,
+        store: Optional[CacheStore] = None,
+        max_retries: int = 3,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: Optional[float] = None,
+    ):
+        if max_retries < 0:
+            raise DispatchError(f"max_retries must be >= 0, got {max_retries}")
+        if heartbeat_interval <= 0:
+            raise DispatchError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        self.store = store
+        self.max_retries = int(max_retries)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = (
+            float(heartbeat_timeout) if heartbeat_timeout is not None
+            else HEARTBEAT_TIMEOUT_FACTOR * self.heartbeat_interval
+        )
+        self.stats = DispatcherStats()
+        self._workers: Set[_WorkerConn] = set()
+        self._idle: Deque[_WorkerConn] = deque()
+        self._queue: Deque[_JobState] = deque()
+        self._outstanding: Dict[str, _JobState] = {}
+        self._run: Optional[_Run] = None
+        self._run_lock: Optional[asyncio.Lock] = None
+        self._worker_event: Optional[asyncio.Event] = None
+        self._monitor_task: Optional["asyncio.Task[None]"] = None
+        self._conn_tasks: Set["asyncio.Task[Any]"] = set()
+        self._bg_tasks: Set["asyncio.Task[Any]"] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Sync facade state.
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Async API
+    # ------------------------------------------------------------------
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Start the worker-facing TCP server (``port=0`` = ephemeral)."""
+        self._run_lock = self._run_lock or asyncio.Lock()
+        self._worker_event = self._worker_event or asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=host, port=port, limit=STREAM_LIMIT
+        )
+        self._monitor_task = asyncio.create_task(self._monitor())
+        return self._server
+
+    def _spawn(self, coro: Any) -> None:
+        """Fire a background task, keeping a strong reference until done
+        (the event loop alone holds only a weak one — an assignment send
+        must not be garbage-collected mid-flight)."""
+        task = asyncio.create_task(coro)
+        self._bg_tasks.add(task)
+        task.add_done_callback(self._bg_tasks.discard)
+
+    async def run(
+        self,
+        jobs: Sequence[ShardJob],
+        decode: Optional[Callable[[Any], Any]] = None,
+        merge: Optional[Callable[[Sequence[Any]], Any]] = None,
+    ) -> Any:
+        """Execute ``jobs`` on the fleet; return the (merged) results.
+
+        With ``merge`` (and optional ``decode``) the jobs are treated
+        as ordered shards and folded streaming into one value; without
+        it, the decoded per-job values come back as a list in job
+        order.  Raises :class:`DispatchError` when a job exhausts its
+        retry budget — double-computation along the way is harmless
+        (idempotent by cache address), a *lost* job is not.
+        """
+        if self._run_lock is None:
+            raise DispatchError("dispatcher is not serving (call serve()/start())")
+        if not jobs:
+            raise DispatchError("cannot run an empty job list")
+        ids = {job.job_id for job in jobs}
+        if len(ids) != len(jobs):
+            raise DispatchError("job ids must be unique within a run")
+        async with self._run_lock:
+            run = _Run(jobs, decode, merge)
+            self._run = run
+            try:
+                loop = asyncio.get_running_loop()
+                if self.store is None:
+                    hits: List[Any] = [None] * len(jobs)
+                else:
+                    # Store I/O off-loop (an NFS stall must not freeze
+                    # heartbeat monitoring) and concurrent — N serial
+                    # round-trips would delay the first assignment by
+                    # N x store latency on a resumed run.
+                    store = self.store
+                    hits = list(await asyncio.gather(*(
+                        loop.run_in_executor(
+                            None, store.get, job.namespace, job.payload
+                        )
+                        for job in jobs
+                    )))
+                for position, (job, hit) in enumerate(zip(jobs, hits)):
+                    self.stats.jobs += 1
+                    if hit is not None:
+                        self.stats.store_hits += 1
+                        self.stats.completed += 1
+                        run.accept(position, hit)
+                    else:
+                        state = _JobState(job, position)
+                        self._outstanding[job.job_id] = state
+                        self._queue.append(state)
+                self._pump()
+                return await run.future
+            finally:
+                self._run = None
+                self._queue.clear()
+                self._outstanding.clear()
+
+    async def wait_for_workers(self, n: int, timeout: Optional[float] = None) -> None:
+        """Block until ``n`` workers are registered (for scripted runs)."""
+        assert self._worker_event is not None, "serve() first"
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while len(self._workers) < n:
+            self._worker_event.clear()
+            remaining = None if deadline is None else deadline - loop.time()
+            if remaining is not None and remaining <= 0:
+                raise DispatchError(
+                    f"timed out waiting for {n} workers "
+                    f"({len(self._workers)} connected)"
+                )
+            try:
+                await asyncio.wait_for(self._worker_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                raise DispatchError(
+                    f"timed out waiting for {n} workers "
+                    f"({len(self._workers)} connected)"
+                ) from None
+
+    async def shutdown(self) -> None:
+        """Stop serving: retire workers (with ``shutdown``) and close."""
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            self._monitor_task = None
+        for worker in tuple(self._workers):
+            try:
+                await worker.send({"type": "shutdown"})
+            except (ConnectionError, OSError):
+                pass
+            self._retire(worker, "dispatcher shutdown", count_lost=False)
+        for task in tuple(self._bg_tasks):
+            task.cancel()
+        if self._bg_tasks:
+            await asyncio.gather(*self._bg_tasks, return_exceptions=True)
+            self._bg_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Connection handlers linger on their final read; reap them so
+        # the event loop closes without stray-task warnings.
+        for task in tuple(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            self._conn_tasks.clear()
+
+    # ------------------------------------------------------------------
+    # Sync facade (daemon-thread event loop)
+    # ------------------------------------------------------------------
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Serve on a daemon thread; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            raise DispatchError("dispatcher already started")
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+        bound: List[Any] = []
+        failure: List[BaseException] = []
+
+        def _runner() -> None:
+            assert self._loop is not None
+            asyncio.set_event_loop(self._loop)
+            try:
+                server = self._loop.run_until_complete(self.serve(host, port))
+            except BaseException as exc:
+                # Bind failures (port in use, bad host) must surface in
+                # start(), not strand it on started.wait() forever.
+                failure.append(exc)
+                started.set()
+                self._loop.close()
+                return
+            bound.extend(server.sockets[0].getsockname()[:2])
+            started.set()
+            try:
+                self._loop.run_forever()
+            finally:
+                self._loop.run_until_complete(self.shutdown())
+                self._loop.close()
+
+        self._thread = threading.Thread(
+            target=_runner, name="repro-dispatcher", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if failure:
+            self._loop = None
+            self._thread = None
+            raise DispatchError(
+                f"dispatcher could not listen on {host}:{port}: {failure[0]}"
+            ) from failure[0]
+        return str(bound[0]), int(bound[1])
+
+    def dispatch(
+        self,
+        jobs: Sequence[ShardJob],
+        decode: Optional[Callable[[Any], Any]] = None,
+        merge: Optional[Callable[[Sequence[Any]], Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Blocking :meth:`run` against the daemon-thread event loop."""
+        if self._loop is None:
+            raise DispatchError("dispatcher is not started (call start())")
+        future = asyncio.run_coroutine_threadsafe(
+            self.run(jobs, decode=decode, merge=merge), self._loop
+        )
+        return future.result(timeout)
+
+    def await_workers(self, n: int, timeout: Optional[float] = None) -> None:
+        """Blocking :meth:`wait_for_workers` for the sync facade."""
+        if self._loop is None:
+            raise DispatchError("dispatcher is not started (call start())")
+        asyncio.run_coroutine_threadsafe(
+            self.wait_for_workers(n, timeout=timeout), self._loop
+        ).result()
+
+    def close(self) -> None:
+        """Tear down the daemon-thread loop (idempotent)."""
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ShardDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Scheduling core (event-loop thread only)
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Hand queued jobs to idle workers (pull-model assignment)."""
+        while self._queue and self._idle:
+            worker = self._idle.popleft()
+            if worker.retired or worker.current is not None:
+                continue
+            state = self._queue.popleft()
+            if state.job.job_id not in self._outstanding:
+                # Completed by a late duplicate while queued; put the
+                # worker back for the next job.
+                self._idle.appendleft(worker)
+                continue
+            worker.current = state
+            state.worker = worker
+            self.stats.assignments += 1
+            self.stats.per_worker[worker.name] = (
+                self.stats.per_worker.get(worker.name, 0) + 1
+            )
+            self._spawn(self._send_assign(worker, state))
+
+    async def _send_assign(self, worker: _WorkerConn, state: _JobState) -> None:
+        try:
+            await worker.send({"type": "assign", "job": state.job.to_wire()})
+        except (ConnectionError, OSError):
+            self._retire(worker, "connection lost during assignment")
+
+    def _requeue(self, state: _JobState, reason: str) -> None:
+        """Put a job back on the queue after a worker failed it."""
+        if state.job.job_id not in self._outstanding:
+            return  # already answered (late duplicate won the race)
+        state.worker = None
+        state.attempts += 1
+        if state.attempts > self.max_retries:
+            self.stats.failures += 1
+            self._outstanding.pop(state.job.job_id, None)
+            if self._run is not None:
+                self._run.fail(DispatchError(
+                    f"job {state.job.job_id} failed after "
+                    f"{state.attempts} attempts: {reason}"
+                ))
+            return
+        self.stats.retries += 1
+        self._queue.append(state)
+        self._pump()
+
+    def _retire(
+        self, worker: _WorkerConn, reason: str, count_lost: bool = True
+    ) -> None:
+        """Drop one worker, requeueing whatever it was computing."""
+        if worker.retired:
+            return
+        worker.retired = True
+        self._workers.discard(worker)
+        if count_lost:
+            self.stats.workers_lost += 1
+        self.stats.active_workers = len(self._workers)
+        current, worker.current = worker.current, None
+        try:
+            worker.writer.close()
+        except Exception:  # pragma: no cover - transport teardown
+            pass
+        if current is not None:
+            self._requeue(current, f"worker {worker.name!r} {reason}")
+
+    def _complete(self, job_id: str, value: Any, cached: bool) -> None:
+        """Accept one result; duplicates of answered jobs are dropped."""
+        state = self._outstanding.pop(job_id, None)
+        if state is None:
+            return
+        self.stats.completed += 1
+        if cached:
+            self.stats.worker_cache_hits += 1
+        else:
+            self.stats.computed += 1
+        if self._run is not None:
+            self._run.accept(state.position, value)
+
+    async def _monitor(self) -> None:
+        """Heartbeat watchdog: retire workers that went silent."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            now = loop.time()
+            for worker in tuple(self._workers):
+                if now - worker.last_seen > self.heartbeat_timeout:
+                    self._retire(
+                        worker,
+                        f"missed heartbeats for {self.heartbeat_timeout:.1f}s",
+                    )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        worker: Optional[_WorkerConn] = None
+        loop = asyncio.get_running_loop()
+
+        async def reply(payload: Dict[str, Any]) -> None:
+            # Registered workers also receive assignment tasks on this
+            # stream; their lock serializes the two writers.
+            if worker is not None:
+                await worker.send(payload)
+            else:
+                await send_message(writer, payload)
+
+        try:
+            while True:
+                try:
+                    message = await recv_message(reader)
+                except ProtocolError as exc:
+                    try:
+                        await reply({"type": "error", "error": str(exc)})
+                    except (ConnectionError, OSError):
+                        pass
+                    break  # cannot resynchronize a broken line stream
+                if message is None:
+                    break
+                kind = message["type"]
+                if worker is not None:
+                    worker.last_seen = loop.time()
+
+                if kind == "stats":
+                    await reply({
+                        "type": "stats", "ok": True,
+                        "stats": self.stats.to_dict(),
+                    })
+                elif kind == "register":
+                    if message.get("protocol") != PROTOCOL_VERSION:
+                        await reply({
+                            "type": "error",
+                            "error": (
+                                f"protocol mismatch: dispatcher speaks "
+                                f"{PROTOCOL_VERSION}, worker sent "
+                                f"{message.get('protocol')!r}"
+                            ),
+                        })
+                        break
+                    name = str(message.get("name") or f"worker-{id(writer):x}")
+                    worker = _WorkerConn(name, writer, loop.time())
+                    self._workers.add(worker)
+                    self.stats.workers_seen += 1
+                    self.stats.active_workers = len(self._workers)
+                    assert self._worker_event is not None
+                    self._worker_event.set()
+                    await worker.send({
+                        "type": "welcome",
+                        "heartbeat_interval": self.heartbeat_interval,
+                        "store": (
+                            None if self.store is None else self.store.describe()
+                        ),
+                    })
+                elif worker is None:
+                    await reply({
+                        "type": "error",
+                        "error": f"{kind!r} before 'register'",
+                    })
+                elif kind == "heartbeat":
+                    pass  # last_seen already refreshed above
+                elif kind == "ready":
+                    self._idle.append(worker)
+                    self._pump()
+                elif kind == "result":
+                    worker.current = None
+                    self._complete(
+                        str(message.get("job_id")),
+                        message.get("value"),
+                        bool(message.get("cached")),
+                    )
+                elif kind == "error":
+                    # A worker holds one job at a time, so whatever it
+                    # currently holds is the failed one — requeue it even
+                    # when the reported job_id is unusable (a worker that
+                    # cannot *parse* its assignment reports "?"), or the
+                    # job would sit outstanding forever and hang the run.
+                    state, worker.current = worker.current, None
+                    detail = str(message.get("error", "worker error"))
+                    if state is not None:
+                        self._requeue(state, detail)
+                elif kind == "shutdown":
+                    # Worker announcing a clean exit (drained --max-jobs,
+                    # operator stop): not a loss, nothing in flight.
+                    self._retire(worker, "clean shutdown", count_lost=False)
+                    worker = None
+                    break
+                else:
+                    await reply({
+                        "type": "error",
+                        "error": f"unknown message type {kind!r}",
+                    })
+        except (ConnectionError, OSError):  # pragma: no cover - reset mid-read
+            pass
+        except asyncio.CancelledError:
+            # Dispatcher shutdown reaps lingering connections; absorbing
+            # the cancel keeps the stream protocol's done-callback from
+            # logging it as an error during loop teardown.
+            pass
+        finally:
+            if worker is not None:
+                self._retire(worker, "disconnected")
+            else:
+                writer.close()

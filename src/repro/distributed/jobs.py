@@ -1,0 +1,243 @@
+"""Serializable shard jobs and their worker-side execution registry.
+
+A :class:`ShardJob` is everything a remote worker needs to recompute
+one shard of a Monte-Carlo population from scratch: a *kind* naming the
+compute function, a kind-specific *spec* (the analyzer configuration —
+exactly the fields of
+:meth:`~repro.sram.montecarlo.MonteCarloAnalyzer.cache_payload`, so the
+spec doubles as the population's cache identity), the shard's
+:meth:`~repro.runtime.sharding.Shard.descriptor`, and the content
+address (``namespace`` + ``payload``) the result is stored under in the
+shared :class:`~repro.distributed.store.CacheStore`.
+
+The address is built with the *same*
+:meth:`~repro.runtime.sharding.ShardedMonteCarlo.shard_payload` rule
+the single-host sharded path uses, which is the load-bearing design
+decision of the subsystem: a distributed fleet, a local ``--shards``
+run and a resumed run after a crash all read and write the very same
+store entries, so work is never repeated across execution modes.
+
+Execution is a registry keyed by ``kind`` so new distributable
+workloads (importance-sampling shards, fault-trial blocks) register a
+compute function without touching dispatcher or worker code.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.devices.technology import MosfetParams, Technology
+from repro.errors import ConfigurationError
+from repro.runtime.sharding import Shard, ShardedMonteCarlo, ShardPlan
+from repro.sram.bitcell import make_cell
+from repro.sram.montecarlo import MonteCarloAnalyzer, tally_shard
+from repro.sram.read_path import BitlineModel
+from repro.sram.sizing import CellSizing
+from repro.distributed.store import CacheStore
+
+#: Cache namespace of distributed margin tallies — deliberately the
+#: same namespace :class:`~repro.runtime.sharding.ShardedMonteCarlo`
+#: defaults to, so local and distributed runs share entries.
+MARGIN_TALLY_NAMESPACE = "mcshard"
+
+#: Registry of job kinds: kind name → compute function.
+_JOB_KINDS: Dict[str, Callable[["ShardJob"], Any]] = {}
+
+_WIRE_FIELDS = (
+    "job_id", "kind", "spec", "shard_index", "shard",
+    "block_samples", "namespace", "payload",
+)
+
+
+def register_job_kind(kind: str, fn: Callable[["ShardJob"], Any]) -> None:
+    """Register (or replace) the compute function of one job kind."""
+    _JOB_KINDS[kind] = fn
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One unit of distributable work: a shard of one population.
+
+    ``payload`` is the result's full content address in the shared
+    store; ``spec`` is the population identity the compute function
+    rebuilds its inputs from.  Instances are immutable and fully
+    JSON-serializable via :meth:`to_wire`/:meth:`from_wire`.
+    """
+
+    job_id: str
+    kind: str
+    spec: Dict[str, Any]
+    shard_index: int
+    shard: Dict[str, int]
+    block_samples: int
+    namespace: str
+    payload: Dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ConfigurationError("job_id must be non-empty")
+        if self.kind not in _JOB_KINDS:
+            raise ConfigurationError(
+                f"unknown job kind {self.kind!r}; registered: "
+                f"{', '.join(sorted(_JOB_KINDS)) or '(none)'}"
+            )
+        if self.shard_index < 0:
+            raise ConfigurationError(
+                f"shard_index must be >= 0, got {self.shard_index}"
+            )
+        if self.block_samples < 1:
+            raise ConfigurationError(
+                f"block_samples must be positive, got {self.block_samples}"
+            )
+        # Descriptor validation: fail at construction (dispatcher side),
+        # not on a remote worker mid-run.
+        Shard.from_descriptor(
+            self.shard, block_samples=self.block_samples, index=self.shard_index
+        )
+
+    def to_shard(self) -> Shard:
+        """The :class:`~repro.runtime.sharding.Shard` this job computes."""
+        return Shard.from_descriptor(
+            self.shard, block_samples=self.block_samples, index=self.shard_index
+        )
+
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-able wire form (the ``job`` field of ``assign``)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "shard_index": self.shard_index,
+            "shard": dict(self.shard),
+            "block_samples": self.block_samples,
+            "namespace": self.namespace,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "ShardJob":
+        """Parse one wire object (validates through ``__post_init__``)."""
+        missing = [f for f in _WIRE_FIELDS if f not in payload]
+        if missing:
+            raise ConfigurationError(
+                f"job object lacks fields: {', '.join(missing)}"
+            )
+        return cls(
+            job_id=str(payload["job_id"]),
+            kind=str(payload["kind"]),
+            spec=dict(payload["spec"]),
+            shard_index=int(payload["shard_index"]),
+            shard=dict(payload["shard"]),
+            block_samples=int(payload["block_samples"]),
+            namespace=str(payload["namespace"]),
+            payload=dict(payload["payload"]),
+        )
+
+
+def execute_job(job: ShardJob, store: Optional[CacheStore]) -> Tuple[Any, bool]:
+    """Run one job against the shared store (the worker's core loop).
+
+    Returns ``(value, cached)``: a populated store address short-circuits
+    the computation (``cached=True``) — the mechanism that keeps two
+    workers sharing one store from recomputing each other's shards —
+    otherwise the kind's compute function runs and its value is
+    persisted before the wire ever sees it.
+    """
+    if store is not None:
+        hit = store.get(job.namespace, job.payload)
+        if hit is not None:
+            return hit, True
+    value = _JOB_KINDS[job.kind](job)
+    if store is not None:
+        store.put(job.namespace, job.payload, value)
+    return value, False
+
+
+# ----------------------------------------------------------------------
+# The "margin_tally" kind: Monte-Carlo failure-margin shards
+# ----------------------------------------------------------------------
+def analyzer_from_spec(spec: Dict[str, Any]) -> MonteCarloAnalyzer:
+    """Rebuild a resolved analyzer from its ``cache_payload`` fields.
+
+    Inverse of :meth:`~repro.sram.montecarlo.MonteCarloAnalyzer.cache_payload`
+    for everything that defines the population (the ``vdd`` entry rides
+    along untouched; ``rev`` is cache bookkeeping).  Raises
+    :class:`~repro.errors.ConfigurationError` on a spec this library
+    version cannot reproduce.
+    """
+    try:
+        tech_fields = dict(spec["technology"])
+        tech = Technology(
+            **{
+                **tech_fields,
+                "nmos": MosfetParams(**tech_fields["nmos"]),
+                "pmos": MosfetParams(**tech_fields["pmos"]),
+            }
+        )
+        cell = make_cell(spec["kind"], tech, CellSizing(**spec["sizing"]))
+        bitline = None
+        if spec["bitline"] is not None:
+            bitline = BitlineModel(
+                tech,
+                rows=int(spec["bitline"]["rows"]),
+                port_width=spec["bitline"]["port_width"],
+            )
+        return MonteCarloAnalyzer(
+            cell=cell,
+            n_samples=int(spec["n_samples"]),
+            bitline=bitline,
+            seed=int(spec["seed"]),
+            read_cycle=float(spec["read_cycle"]),
+            block_samples=int(spec["block_samples"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(
+            f"margin-tally spec is not reconstructible: {exc!r}"
+        ) from None
+
+
+def _run_margin_tally(job: ShardJob) -> Dict[str, Any]:
+    """Worker compute function: tally one shard, return its JSON form."""
+    analyzer = analyzer_from_spec(job.spec)
+    vdd = job.spec.get("vdd")
+    if not isinstance(vdd, (int, float)) or isinstance(vdd, bool) or vdd <= 0:
+        raise ConfigurationError(f"spec vdd must be a positive number, got {vdd!r}")
+    return tally_shard(analyzer, float(vdd), job.to_shard()).to_dict()
+
+
+register_job_kind("margin_tally", _run_margin_tally)
+
+
+def margin_tally_jobs(
+    analyzer: MonteCarloAnalyzer, vdd: float, plan: ShardPlan
+) -> List[ShardJob]:
+    """The job list of one distributed ``analyze_sharded`` voltage point.
+
+    ``analyzer`` must be :meth:`~repro.sram.montecarlo.MonteCarloAnalyzer.resolved`
+    (integer seed, concrete read cycle) so the spec round-trips exactly.
+    Jobs come back in shard order — the order the dispatcher's streaming
+    merge consumes — and each job's store address equals the one a local
+    :meth:`~repro.sram.montecarlo.MonteCarloAnalyzer.analyze_sharded`
+    run would use for the same shard.
+    """
+    engine: ShardedMonteCarlo[Any] = ShardedMonteCarlo(
+        plan, namespace=MARGIN_TALLY_NAMESPACE
+    )
+    spec = analyzer.cache_payload(vdd)
+    run_id = uuid.uuid4().hex[:12]
+    return [
+        ShardJob(
+            job_id=f"mt-{run_id}-{shard.index}",
+            kind="margin_tally",
+            spec=spec,
+            shard_index=shard.index,
+            shard=shard.descriptor(),
+            block_samples=plan.block_samples,
+            namespace=MARGIN_TALLY_NAMESPACE,
+            payload=engine.shard_payload(spec, shard),
+        )
+        for shard in plan.shards()
+    ]

@@ -1,0 +1,97 @@
+"""Shared cache stores for distributed shard results.
+
+The dispatcher and its workers communicate results twice: inline over
+the wire (so a run completes without waiting on storage propagation)
+and through a *shared cache store* keyed by the same content addresses
+the single-host :class:`~repro.runtime.sharding.ShardedMonteCarlo`
+uses.  The store is what makes the system idempotent and resumable:
+
+* a shard recomputed anywhere — retry after a worker death, a
+  speculative duplicate, a rerun next week — lands on the same address
+  with the same bytes, so double computation is wasted work, never a
+  conflict;
+* a worker (or the dispatcher itself) that finds the address populated
+  skips the computation entirely, which is why two workers sharing one
+  store never recompute each other's shards — and why a *distributed*
+  run can resume from a *single-host* run's cache, and vice versa.
+
+:class:`CacheStore` is the minimal interface: content-addressed
+``get``/``put`` with atomic, last-writer-wins ``put`` semantics where
+every writer of one address produces identical bytes.
+:class:`DirectoryStore` is the filesystem backend — a plain directory
+(sharable over NFS, or rsync'd between hosts between runs) delegating
+to :class:`~repro.runtime.cache.ResultCache`.  An object-store backend
+(S3 & friends) slots in behind the same three methods.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional
+
+from repro.runtime.cache import ResultCache
+
+
+class CacheStore(ABC):
+    """Content-addressed result store shared by dispatcher and workers.
+
+    Contract (inherited from ``docs/runtime.md``'s cache rules): the
+    payload must contain everything that determines the stored value,
+    writes must be atomic (readers never observe a torn document), and
+    concurrent writers of one address must be safe because they all
+    write identical bytes.  ``get`` returns ``None`` on any kind of
+    miss — absence, corruption, backend unavailability — never raises
+    for a recoverable condition; a store that cannot be *written*
+    degrades caching, not correctness, so callers treat ``put``
+    failures as non-fatal.
+    """
+
+    @abstractmethod
+    def get(self, namespace: str, payload: Dict[str, Any]) -> Optional[Any]:
+        """The stored value addressed by ``payload``, or ``None``."""
+
+    @abstractmethod
+    def put(self, namespace: str, payload: Dict[str, Any], value: Any) -> None:
+        """Atomically store ``value`` under the address of ``payload``."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable location of the store (for logs and stats)."""
+
+
+class DirectoryStore(CacheStore):
+    """The filesystem backend: one shared cache directory.
+
+    Wraps :class:`~repro.runtime.cache.ResultCache`, so the store is
+    byte-compatible with every single-host cache the library writes —
+    the same directory serves local sharded runs and distributed fleets
+    interchangeably.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory to store results under; ``None`` falls back to
+        :func:`~repro.runtime.cache.default_cache_dir` (the
+        ``REPRO_CACHE_DIR`` environment variable, then
+        ``./.repro_cache``).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache = ResultCache(cache_dir=cache_dir)
+
+    def get(self, namespace: str, payload: Dict[str, Any]) -> Optional[Any]:
+        return self.cache.get(namespace, payload)
+
+    def put(self, namespace: str, payload: Dict[str, Any], value: Any) -> None:
+        try:
+            self.cache.put(namespace, payload, value)
+        except OSError:
+            # A full disk or revoked mount degrades the cache, never the
+            # run: the value still travels inline over the wire.
+            pass
+
+    def describe(self) -> str:
+        return f"directory:{self.cache.cache_dir}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DirectoryStore({self.cache.cache_dir!r})"

@@ -1,0 +1,214 @@
+"""The worker process: execute dispatched shards next to a shared store.
+
+A worker connects to one dispatcher, registers, and pulls jobs one at a
+time (``ready`` → ``assign`` → ``result`` → ``ready``).  Execution
+happens *off* the event loop on a thread-pool worker, so heartbeats
+keep flowing while a shard computes — the dispatcher can tell a
+crunching worker from a dead one.  Every result is written to the
+worker's :class:`~repro.distributed.store.CacheStore` before it is
+reported, and a populated store address short-circuits the computation
+entirely (see :func:`~repro.distributed.jobs.execute_job`).
+
+Job failures are reported per job (``error`` messages) and do not kill
+the worker; protocol-level failures (malformed dispatcher, version
+skew) do, because a worker that misunderstands its dispatcher must not
+keep computing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.distributed.jobs import ShardJob, execute_job
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    STREAM_LIMIT,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.distributed.store import CacheStore, DirectoryStore
+
+
+def default_worker_name() -> str:
+    """``host-pid``: unique per process, stable for a worker's lifetime."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class Worker:
+    """One dispatcher connection's worth of shard execution.
+
+    Parameters
+    ----------
+    host / port:
+        The dispatcher to connect to.
+    store:
+        Shared result store; results are persisted here before they are
+        reported, and present entries skip computation.
+    name:
+        Registration name (shows up in dispatcher stats);
+        defaults to :func:`default_worker_name`.
+    max_jobs:
+        Exit cleanly after this many jobs (drain hook for rolling
+        restarts and tests); ``None`` serves until the dispatcher goes
+        away.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        store: Optional[CacheStore] = None,
+        name: Optional[str] = None,
+        max_jobs: Optional[int] = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.store = store
+        self.name = name or default_worker_name()
+        self.max_jobs = max_jobs
+        self.jobs_done = 0
+        # Serializes the heartbeat task and job-result reports on the
+        # one dispatcher stream: two coroutines awaiting the same
+        # drain() is an asyncio flow-control assertion error.
+        self._write_lock: Optional[asyncio.Lock] = None
+
+    async def _send(
+        self, writer: "asyncio.StreamWriter", payload: Dict[str, Any]
+    ) -> None:
+        assert self._write_lock is not None
+        async with self._write_lock:
+            await send_message(writer, payload)
+
+    async def run(self) -> int:
+        """Serve until shutdown/disconnect; returns jobs executed."""
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port, limit=STREAM_LIMIT
+        )
+        self._write_lock = asyncio.Lock()
+        heartbeat_task: Optional["asyncio.Task[None]"] = None
+        try:
+            await self._send(writer, {
+                "type": "register",
+                "name": self.name,
+                "pid": os.getpid(),
+                "protocol": PROTOCOL_VERSION,
+            })
+            welcome = await recv_message(reader)
+            if welcome is None or welcome["type"] != "welcome":
+                detail = "" if welcome is None else welcome.get("error", welcome)
+                raise ProtocolError(f"dispatcher rejected registration: {detail}")
+            interval = float(welcome.get("heartbeat_interval", 1.0))
+            heartbeat_task = asyncio.create_task(
+                self._heartbeats(writer, interval)
+            )
+            await self._send(writer, {"type": "ready"})
+            loop = asyncio.get_running_loop()
+            while True:
+                message = await recv_message(reader)
+                if message is None or message["type"] == "shutdown":
+                    break
+                kind = message["type"]
+                if kind == "assign":
+                    await self._execute(loop, writer, message)
+                    self.jobs_done += 1
+                    if (
+                        self.max_jobs is not None
+                        and self.jobs_done >= self.max_jobs
+                    ):
+                        await self._send(writer, {"type": "shutdown"})
+                        break
+                    await self._send(writer, {"type": "ready"})
+                elif kind == "error":
+                    raise ProtocolError(
+                        f"dispatcher error: {message.get('error')}"
+                    )
+                # Anything else (future protocol additions) is ignored.
+            return self.jobs_done
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    async def _execute(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        writer: "asyncio.StreamWriter",
+        message: Dict[str, Any],
+    ) -> None:
+        """Run one assignment off-loop and report result or error."""
+        wire = dict(message.get("job") or {})
+        # Even an unparseable assignment should echo the claimed id so
+        # the dispatcher can match the failure to its job.
+        job_id = str(wire.get("job_id", "?"))
+        try:
+            job = ShardJob.from_wire(wire)
+            job_id = job.job_id
+            value, cached = await loop.run_in_executor(
+                None, execute_job, job, self.store
+            )
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            await self._send(writer, {
+                "type": "error", "job_id": job_id, "error": str(exc),
+            })
+        except Exception as exc:
+            # A programming error behind one shard is that job's
+            # failure, not the worker's: report and keep serving.
+            await self._send(writer, {
+                "type": "error", "job_id": job_id,
+                "error": f"internal error ({type(exc).__name__}): {exc}",
+            })
+        else:
+            await self._send(writer, {
+                "type": "result", "job_id": job_id,
+                "value": value, "cached": cached,
+            })
+
+    async def _heartbeats(
+        self, writer: "asyncio.StreamWriter", interval: float
+    ) -> None:
+        """Beat until cancelled; a gone dispatcher ends the task quietly."""
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                await self._send(writer, {"type": "heartbeat"})
+        except (ConnectionError, OSError):  # pragma: no cover - peer gone
+            pass
+
+
+def run_worker(
+    host: str,
+    port: int,
+    cache_dir: Optional[str] = None,
+    name: Optional[str] = None,
+    max_jobs: Optional[int] = None,
+) -> int:
+    """Blocking worker entry point (the ``repro-sram worker`` command).
+
+    Returns a process exit code: 0 after a clean shutdown/drain, 1 when
+    the connection or registration failed.
+    """
+    worker = Worker(
+        host, port,
+        store=DirectoryStore(cache_dir),
+        name=name,
+        max_jobs=max_jobs,
+    )
+    try:
+        done = asyncio.run(worker.run())
+    except (ConnectionError, OSError, ProtocolError) as exc:
+        print(f"worker {worker.name}: {exc}")
+        return 1
+    print(f"worker {worker.name}: served {done} job(s)")
+    return 0

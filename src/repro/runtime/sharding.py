@@ -113,6 +113,61 @@ class Shard:
             "n_samples": self.n_samples,
         }
 
+    @classmethod
+    def from_descriptor(
+        cls,
+        descriptor: Dict[str, Any],
+        block_samples: int,
+        index: int = 0,
+    ) -> "Shard":
+        """Rebuild a shard from its :meth:`descriptor` and block geometry.
+
+        This is the wire-format inverse used by the distributed
+        dispatcher: a descriptor plus ``block_samples`` fully determines
+        the shard's block list, because within one shard only the final
+        block may be partial (shards are contiguous block runs, and the
+        only partial block of a population is its last).  ``index`` is
+        presentation metadata (merge ordering); it never enters cache
+        keys, matching :meth:`descriptor`'s omission of it.
+
+        Raises :class:`~repro.errors.ConfigurationError` on a descriptor
+        that no shard of a ``block_samples``-block population could have
+        produced.
+        """
+        if block_samples < 1:
+            raise ConfigurationError(
+                f"block_samples must be positive, got {block_samples}"
+            )
+        values: Dict[str, int] = {}
+        for name in ("start_block", "n_blocks", "n_samples"):
+            value = descriptor.get(name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"shard descriptor field {name!r} must be an integer, "
+                    f"got {value!r}"
+                )
+            values[name] = value
+        start_block, n_blocks, n_samples = (
+            values["start_block"], values["n_blocks"], values["n_samples"]
+        )
+        if start_block < 0:
+            raise ConfigurationError(
+                f"shard start_block must be >= 0, got {start_block}"
+            )
+        if n_blocks < 1:
+            raise ConfigurationError(f"shard n_blocks must be >= 1, got {n_blocks}")
+        last = n_samples - (n_blocks - 1) * block_samples
+        if not 1 <= last <= block_samples:
+            raise ConfigurationError(
+                f"shard descriptor is inconsistent: {n_samples} samples do "
+                f"not fill {n_blocks} block(s) of {block_samples}"
+            )
+        blocks = tuple(
+            (start_block + i, block_samples if i < n_blocks - 1 else last)
+            for i in range(n_blocks)
+        )
+        return cls(index=int(index), blocks=blocks)
+
 
 @dataclass(frozen=True)
 class ShardPlan:

@@ -32,6 +32,9 @@ from repro.serving.batcher import (
 )
 from repro.serving.request import EvalRequest
 from repro.serving.server import (
+    DEFAULT_MAX_INFLIGHT,
+    format_stats,
+    request_stats,
     respond_line,
     respond_lines,
     run_stdio,
@@ -39,10 +42,13 @@ from repro.serving.server import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_INFLIGHT",
     "SERVE_NAMESPACE",
     "BatchingEvaluator",
     "EvalRequest",
     "ServingStats",
+    "format_stats",
+    "request_stats",
     "respond_line",
     "respond_lines",
     "run_stdio",

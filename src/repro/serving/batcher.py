@@ -33,7 +33,7 @@ from __future__ import annotations
 import asyncio
 import json
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from functools import partial
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
@@ -75,6 +75,10 @@ class ServingStats:
             f"{self.coalesced} coalesced, {self.evaluations} evaluated "
             f"in {self.batches} batches, {self.errors} errors"
         )
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-able snapshot — the ``{"type": "stats"}`` probe response."""
+        return asdict(self)
 
 
 @dataclass

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import sys
 from typing import Any, Dict, Iterable, List, Optional, Set, TextIO
 
@@ -40,10 +41,39 @@ from repro.serving.request import EvalRequest, parse_object_line
 #: before the connection closes.
 STREAM_LIMIT = 1 << 20
 
+#: Per-connection in-flight request ceiling (backpressure).  A client
+#: that pipelines more than this many unanswered requests gets
+#: structured ``overloaded`` errors instead of queueing the server into
+#: the ground; well-behaved clients window their pipeline below it.
+DEFAULT_MAX_INFLIGHT = 64
+
 
 def _dumps(payload: Dict[str, Any]) -> str:
     """Canonical one-line JSON (stable key order, no stray whitespace)."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _error(request_id: Optional[str], message: str, code: str) -> str:
+    """One structured error line.
+
+    ``code`` is the machine-readable half of the error contract
+    (``bad_request`` / ``overloaded`` / ``protocol`` / ``internal``);
+    ``error`` stays the human-readable message clients log.
+    """
+    return _dumps(
+        {"ok": False, "id": request_id, "error": message, "code": code}
+    )
+
+
+def _peek_request_id(line: str) -> Optional[str]:
+    """Best-effort ``id`` extraction for errors raised before parsing."""
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None
+    if isinstance(payload, dict) and isinstance(payload.get("id"), str):
+        return payload["id"]
+    return None
 
 
 async def respond_line(evaluator: BatchingEvaluator, line: str) -> str:
@@ -62,21 +92,43 @@ async def respond_line(evaluator: BatchingEvaluator, line: str) -> str:
         payload = parse_object_line(line)
         if isinstance(payload.get("id"), str):
             request_id = payload["id"]
+        if "type" in payload:
+            return _control_response(evaluator, payload, request_id)
         request = EvalRequest.from_dict(payload)
         result = await evaluator.submit(request)
     except ReproError as exc:
-        return _dumps({"ok": False, "id": request_id, "error": str(exc)})
+        return _error(request_id, str(exc), "bad_request")
     except asyncio.CancelledError:
         raise
     except Exception as exc:
-        return _dumps(
-            {
-                "ok": False,
-                "id": request_id,
-                "error": f"internal error ({type(exc).__name__})",
-            }
+        return _error(
+            request_id, f"internal error ({type(exc).__name__})", "internal"
         )
     return _dumps({"ok": True, "id": request_id, "result": result})
+
+
+def _control_response(
+    evaluator: BatchingEvaluator,
+    payload: Dict[str, Any],
+    request_id: Optional[str],
+) -> str:
+    """Answer a control line (``{"type": ...}``) — not an evaluation.
+
+    ``stats`` returns the evaluator's :class:`~repro.serving.batcher.ServingStats`
+    counters; it does not count as a request itself, so probes never
+    perturb the numbers they read.
+    """
+    kind = payload.get("type")
+    if kind == "stats":
+        return _dumps(
+            {
+                "ok": True,
+                "id": request_id,
+                "type": "stats",
+                "stats": evaluator.stats.to_dict(),
+            }
+        )
+    return _error(request_id, f"unknown control type {kind!r}", "bad_request")
 
 
 async def respond_lines(
@@ -126,6 +178,7 @@ async def _serve_connection(
     evaluator: BatchingEvaluator,
     reader: "asyncio.StreamReader",
     writer: "asyncio.StreamWriter",
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
 ) -> None:
     """Multiplex one client: spawn a task per line, write as completed.
 
@@ -136,7 +189,10 @@ async def _serve_connection(
     then ends the conversation (the stream cannot be resynchronized).
     Completed answer tasks retire themselves from ``tasks``, so a
     long-lived connection holds state only for requests still in
-    flight.
+    flight — and ``max_inflight`` bounds that state: a request arriving
+    with the bound exhausted is refused with a structured
+    ``overloaded`` error (the connection stays usable; the client
+    retries once its pipeline drains).
     """
     write_lock = asyncio.Lock()
     tasks: Set["asyncio.Task[None]"] = set()
@@ -160,11 +216,11 @@ async def _serve_connection(
                 # LimitOverrunError subclass: the line never fit the
                 # stream buffer, so no request boundary can be trusted
                 # from here on.
-                await write_line(_dumps({
-                    "ok": False,
-                    "id": None,
-                    "error": f"request line exceeds {STREAM_LIMIT} bytes",
-                }))
+                await write_line(_error(
+                    None,
+                    f"request line exceeds {STREAM_LIMIT} bytes",
+                    "protocol",
+                ))
                 break
             except (ConnectionError, OSError):  # pragma: no cover
                 break  # reset mid-read
@@ -172,6 +228,17 @@ async def _serve_connection(
                 break
             line = raw.decode(errors="replace").strip()
             if not line:
+                continue
+            if len(tasks) >= max_inflight:
+                # Backpressure: refuse rather than queue unboundedly.
+                # The answer is immediate and carries the id echo, so a
+                # pipelining client can tell *which* request to resend.
+                await write_line(_error(
+                    _peek_request_id(line),
+                    f"overloaded: {max_inflight} requests already in "
+                    "flight on this connection",
+                    "overloaded",
+                ))
                 continue
             task = asyncio.create_task(answer(line))
             tasks.add(task)
@@ -194,30 +261,85 @@ async def serve_tcp(
     evaluator: BatchingEvaluator,
     host: str = "127.0.0.1",
     port: int = 0,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
 ) -> "asyncio.AbstractServer":
     """Start (and return) the line-oriented TCP server.
 
     ``port=0`` binds an ephemeral port — callers read the concrete one
     off ``server.sockets[0].getsockname()``.  The caller owns the
     server's lifetime (``async with server`` or ``server.close()``).
+    ``max_inflight`` bounds unanswered requests per connection; excess
+    requests receive ``overloaded`` errors instead of queueing.
     """
+    if max_inflight < 1:
+        raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
 
     async def handler(
         reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
     ) -> None:
-        await _serve_connection(evaluator, reader, writer)
+        await _serve_connection(
+            evaluator, reader, writer, max_inflight=max_inflight
+        )
 
     return await asyncio.start_server(
         handler, host=host, port=port, limit=STREAM_LIMIT
     )
 
 
-def run_tcp_forever(evaluator: BatchingEvaluator, host: str, port: int) -> int:  # pragma: no cover
+def request_stats(host: str, port: int, timeout: float = 10.0) -> Dict[str, Any]:
+    """Probe a running JSON-lines server for its stats counters.
+
+    Works against both the serving front-end (``repro-sram serve``) and
+    the distributed dispatcher (``repro-sram dispatch``) — each answers
+    ``{"type": "stats"}`` with ``{"ok": true, "stats": {...}}`` — and
+    returns the ``stats`` object.  This is the ``--stats`` probe of
+    both CLIs.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(b'{"type":"stats"}\n')
+            with sock.makefile("r", encoding="utf-8") as stream:
+                line = stream.readline()
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach a server at {host}:{port}: {exc}"
+        ) from None
+    if not line.strip():
+        raise ReproError(f"no stats response from {host}:{port}")
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ReproError(f"malformed stats response: {exc}") from None
+    if not isinstance(payload, dict) or not payload.get("ok"):
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        raise ReproError(f"stats probe refused: {detail}")
+    stats = payload.get("stats")
+    if not isinstance(stats, dict):
+        raise ReproError("stats response lacks a 'stats' object")
+    return stats
+
+
+def format_stats(stats: Dict[str, Any]) -> str:
+    """Aligned ``key : value`` rendering of one stats probe response."""
+    width = max(len(key) for key in stats)
+    return "\n".join(
+        f"{key:<{width}s} : {stats[key]}" for key in sorted(stats)
+    )
+
+
+def run_tcp_forever(
+    evaluator: BatchingEvaluator,
+    host: str,
+    port: int,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+) -> int:  # pragma: no cover
     """Blocking TCP entry point for the CLI (serves until interrupted;
     the serving machinery itself is exercised through serve_tcp)."""
 
     async def _run() -> None:
-        server = await serve_tcp(evaluator, host=host, port=port)
+        server = await serve_tcp(
+            evaluator, host=host, port=port, max_inflight=max_inflight
+        )
         bound = server.sockets[0].getsockname()
         print(f"serving on {bound[0]}:{bound[1]} (JSON lines; Ctrl-C to stop)")
         async with server:

@@ -15,7 +15,10 @@ in-process run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # import would cycle at runtime (distributed -> sram)
+    from repro.distributed.dispatcher import ShardDispatcher
 
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike
@@ -71,6 +74,13 @@ class SubArray:
     jobs: Optional[int] = None
     #: Shared result cache for per-shard tallies (``None`` = uncached).
     cache: Optional[ResultCache] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Started :class:`~repro.distributed.ShardDispatcher`; when set,
+    #: the failure Monte Carlo is farmed to its remote workers instead
+    #: of the local pool (``jobs``/``cache`` are then unused).  An
+    #: execution knob like the others: the numbers cannot change.
+    dispatcher: Optional["ShardDispatcher"] = field(
         default=None, compare=False, repr=False
     )
     _rates_memo: Dict[float, FailureRates] = field(
@@ -157,6 +167,7 @@ class SubArray:
                 max_shard_samples=self.max_shard_samples,
                 jobs=self.jobs,
                 cache=self.cache,
+                dispatcher=self.dispatcher,
             )
         return self._rates_memo[key]
 

@@ -34,7 +34,10 @@ from __future__ import annotations
 import math
 from dataclasses import asdict, dataclass, field, replace
 from functools import partial
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # runtime import lives in analyze_sharded (avoids a cycle)
+    from repro.distributed.dispatcher import ShardDispatcher
 
 import numpy as np
 from scipy.stats import norm
@@ -512,7 +515,7 @@ class MonteCarloAnalyzer:
         analyzer = self if seed is None else replace(self, seed=resolve_seed(seed))
         plan = analyzer.shard_plan()
         (shard,) = plan.shards()
-        tally = _tally_shard(analyzer, float(vdd), shard)
+        tally = tally_shard(analyzer, float(vdd), shard)
         return _rates_from_tally(float(vdd), tally)
 
     # ------------------------------------------------------------------
@@ -563,6 +566,7 @@ class MonteCarloAnalyzer:
         max_shard_samples: Optional[int] = None,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        dispatcher: Optional["ShardDispatcher"] = None,
     ) -> FailureRates:
         """Estimate failure rates with the population split into shards.
 
@@ -574,18 +578,35 @@ class MonteCarloAnalyzer:
         cached under the ``mcshard`` namespace, so interrupted runs
         resume from the shards they completed.
 
+        With ``dispatcher`` (a started
+        :class:`~repro.distributed.ShardDispatcher`), the shards are
+        farmed to remote workers over TCP instead of the local pool;
+        ``jobs``/``cache`` are then unused — the dispatcher and its
+        workers address the shared cache store directly, under the same
+        per-shard keys the local path writes.
+
         Guarantee: the result equals :meth:`analyze` bit-for-bit for
-        every ``(shards, max_shard_samples, jobs, cache)`` combination.
+        every ``(shards, max_shard_samples, jobs, cache, dispatcher)``
+        combination.
         """
         if vdd <= 0:
             raise ConfigurationError(f"vdd must be positive, got {vdd}")
         resolved = self.resolved()
         plan = resolved.shard_plan(shards=shards, max_shard_samples=max_shard_samples)
+        if dispatcher is not None:
+            from repro.distributed.jobs import margin_tally_jobs
+
+            tally: MarginTally = dispatcher.dispatch(
+                margin_tally_jobs(resolved, float(vdd), plan),
+                decode=MarginTally.from_dict,
+                merge=MarginTally.merge,
+            )
+            return _rates_from_tally(float(vdd), tally)
         engine: ShardedMonteCarlo[MarginTally] = ShardedMonteCarlo(
             plan, executor=SweepExecutor(jobs), cache=cache
         )
         tally = engine.run(
-            compute=partial(_tally_shard, resolved, float(vdd)),
+            compute=partial(tally_shard, resolved, float(vdd)),
             payload=resolved.cache_payload(vdd),
             encode=MarginTally.to_dict,
             decode=MarginTally.from_dict,
@@ -667,14 +688,16 @@ class MonteCarloAnalyzer:
         return [results[i] for i in range(len(results))]
 
 
-def _tally_shard(
+def tally_shard(
     analyzer: MonteCarloAnalyzer, vdd: float, shard: Shard
 ) -> MarginTally:
     """Shard worker: tally the shard's blocks, one block in memory at a time.
 
     Must be called on a :meth:`MonteCarloAnalyzer.resolved` analyzer (or
     one with an integer seed and concrete read cycle) so the block seeds
-    depend only on ``(analyzer.seed, vdd, block index)``.
+    depend only on ``(analyzer.seed, vdd, block index)``.  Public
+    because it is also the remote compute function of the distributed
+    dispatcher's ``margin_tally`` job kind (:mod:`repro.distributed.jobs`).
     """
     point_seed = analyzer._point_seed(vdd)
     read_cycle = analyzer._read_cycle()

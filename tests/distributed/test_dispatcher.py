@@ -1,0 +1,242 @@
+"""End-to-end tests of the shard dispatcher over localhost TCP.
+
+The acceptance bar: a sweep dispatched to ≥2 workers produces
+byte-identical merges to the monolithic ``analyze`` path, survives a
+worker dying mid-shard, and never recomputes a shard that any worker
+already wrote to the shared store.
+"""
+
+import pytest
+
+from repro.distributed import DispatchError
+from repro.runtime import ResultCache
+from repro.serving.server import request_stats
+from repro.sram.montecarlo import MarginTally
+
+from tests.distributed.conftest import (
+    FakeWorker,
+    WorkerThread,
+    canon,
+    make_dispatcher,
+)
+
+VDD = 0.7
+
+
+class TestBitIdentity:
+    def test_two_workers_match_monolithic_analyze(self, dist_analyzer, store_dir):
+        reference = canon(dist_analyzer.analyze(VDD))
+        with make_dispatcher(store_dir) as dispatcher:
+            host, port = dispatcher.start()
+            workers = [
+                WorkerThread(host, port, store_dir, name=f"w{i}")
+                for i in range(2)
+            ]
+            dispatcher.await_workers(2, timeout=10)
+            rates = dist_analyzer.analyze_sharded(
+                VDD, shards=3, dispatcher=dispatcher
+            )
+            assert canon(rates) == reference
+            stats = dispatcher.stats
+            assert stats.jobs == 3 and stats.completed == 3
+            assert stats.computed == 3 and stats.retries == 0
+            # Both workers genuinely participated (3 jobs, capacity 1
+            # each, so no worker can have taken them all... unless one
+            # raced every ready; assert distribution, not exact split).
+            assert set(stats.per_worker) == {"w0", "w1"}
+        for worker in workers:
+            worker.join()
+
+    def test_distributed_matches_local_sharded_and_shares_cache(
+        self, dist_analyzer, store_dir
+    ):
+        """A local --shards run and a distributed run address the same
+        store entries: whichever runs second computes nothing."""
+        local = dist_analyzer.analyze_sharded(
+            VDD, shards=3, cache=ResultCache(cache_dir=store_dir)
+        )
+        with make_dispatcher(store_dir) as dispatcher:
+            host, port = dispatcher.start()
+            worker = WorkerThread(host, port, store_dir)
+            dispatcher.await_workers(1, timeout=10)
+            rates = dist_analyzer.analyze_sharded(
+                VDD, shards=3, dispatcher=dispatcher
+            )
+            assert canon(rates) == canon(local)
+            # Every shard was answered from the dispatcher's store.
+            assert dispatcher.stats.store_hits == 3
+            assert dispatcher.stats.computed == 0
+            assert dispatcher.stats.assignments == 0
+        worker.join()
+
+
+class TestFailureRecovery:
+    def test_worker_dead_mid_shard_is_reassigned(self, dist_analyzer, store_dir):
+        """The killed-mid-run acceptance scenario: the first worker takes
+        a shard and goes silent; the dispatcher times it out, reassigns,
+        and the merged result is still bit-identical."""
+        reference = canon(dist_analyzer.analyze(VDD))
+        with make_dispatcher(store_dir) as dispatcher:
+            host, port = dispatcher.start()
+            fake = FakeWorker(host, port, "silent", name="victim")
+            dispatcher.await_workers(1, timeout=10)
+            # The victim registered first, so it is first in the idle
+            # queue and deterministically receives the first shard.
+            survivor = WorkerThread(host, port, store_dir, name="survivor")
+            dispatcher.await_workers(2, timeout=10)
+            rates = dist_analyzer.analyze_sharded(
+                VDD, shards=3, dispatcher=dispatcher
+            )
+            assert canon(rates) == reference
+            stats = dispatcher.stats
+            assert stats.per_worker.get("victim") == 1
+            assert stats.retries >= 1
+            assert stats.workers_lost >= 1
+            assert stats.completed == 3
+        fake.join()
+        survivor.join()
+
+    def test_abrupt_disconnect_mid_shard_is_reassigned(
+        self, dist_analyzer, store_dir
+    ):
+        reference = canon(dist_analyzer.analyze(VDD))
+        with make_dispatcher(store_dir) as dispatcher:
+            host, port = dispatcher.start()
+            fake = FakeWorker(host, port, "disconnect", name="dropper")
+            dispatcher.await_workers(1, timeout=10)
+            survivor = WorkerThread(host, port, store_dir, name="survivor")
+            dispatcher.await_workers(2, timeout=10)
+            rates = dist_analyzer.analyze_sharded(
+                VDD, shards=3, dispatcher=dispatcher
+            )
+            assert canon(rates) == reference
+            assert dispatcher.stats.retries >= 1
+        fake.join()
+        survivor.join()
+
+    def test_error_with_unparseable_job_id_still_requeues(
+        self, dist_analyzer, store_dir
+    ):
+        """A worker that cannot parse its assignment reports job_id '?';
+        the dispatcher must requeue the job it held, not strand it."""
+        reference = canon(dist_analyzer.analyze(VDD))
+        with make_dispatcher(store_dir) as dispatcher:
+            host, port = dispatcher.start()
+            fake = FakeWorker(host, port, "error-mismatch", name="garbled")
+            dispatcher.await_workers(1, timeout=10)
+            survivor = WorkerThread(host, port, store_dir, name="survivor")
+            dispatcher.await_workers(2, timeout=10)
+            rates = dist_analyzer.analyze_sharded(
+                VDD, shards=3, dispatcher=dispatcher
+            )
+            assert canon(rates) == reference
+            assert dispatcher.stats.retries >= 1
+        survivor.join()
+
+    def test_retries_exhausted_fails_the_run(self, dist_analyzer, store_dir):
+        with make_dispatcher(store_dir, max_retries=1) as dispatcher:
+            host, port = dispatcher.start()
+            fake = FakeWorker(host, port, "error", name="lemon")
+            dispatcher.await_workers(1, timeout=10)
+            with pytest.raises(DispatchError, match="failed after"):
+                dist_analyzer.analyze_sharded(
+                    VDD, shards=2, dispatcher=dispatcher
+                )
+            assert dispatcher.stats.failures >= 1
+        fake.join()
+
+
+class TestSharedStoreDedupe:
+    def test_workers_sharing_a_store_never_recompute(
+        self, dist_analyzer, store_dir
+    ):
+        """Two fleets sharing one cache directory: the second fleet's
+        workers answer everything from the store (dispatcher has no
+        store of its own here, so the dedupe is purely worker-side)."""
+        with make_dispatcher(store_dir=None) as first:
+            host, port = first.start()
+            worker = WorkerThread(host, port, store_dir, name="first")
+            first.await_workers(1, timeout=10)
+            rates_first = dist_analyzer.analyze_sharded(
+                VDD, shards=3, dispatcher=first
+            )
+            assert first.stats.computed == 3
+        worker.join()
+
+        with make_dispatcher(store_dir=None) as second:
+            host, port = second.start()
+            workers = [
+                WorkerThread(host, port, store_dir, name=f"second-{i}")
+                for i in range(2)
+            ]
+            second.await_workers(2, timeout=10)
+            rates_second = dist_analyzer.analyze_sharded(
+                VDD, shards=3, dispatcher=second
+            )
+            assert canon(rates_second) == canon(rates_first)
+            assert second.stats.worker_cache_hits == 3
+            assert second.stats.computed == 0
+        for worker in workers:
+            worker.join()
+
+
+class TestDispatcherProtocol:
+    def test_stats_probe_over_tcp(self, dist_analyzer, store_dir):
+        with make_dispatcher(store_dir) as dispatcher:
+            host, port = dispatcher.start()
+            worker = WorkerThread(host, port, store_dir)
+            dispatcher.await_workers(1, timeout=10)
+            dist_analyzer.analyze_sharded(VDD, shards=2, dispatcher=dispatcher)
+            stats = request_stats(host, port)
+            assert stats["jobs"] == 2
+            assert stats["completed"] == 2
+            assert stats["active_workers"] == 1
+        worker.join()
+
+    def test_start_on_taken_port_fails_loudly(self):
+        """A bind failure must surface as DispatchError, not hang
+        start() on an event that is never set."""
+        with make_dispatcher() as first:
+            host, port = first.start()
+            second = make_dispatcher()
+            with pytest.raises(DispatchError, match="could not listen"):
+                second.start(host, port)
+
+    def test_wait_for_workers_times_out(self):
+        with make_dispatcher() as dispatcher:
+            dispatcher.start()
+            with pytest.raises(DispatchError, match="timed out"):
+                dispatcher.await_workers(1, timeout=0.2)
+
+    def test_run_guards(self, dist_analyzer):
+        from repro.distributed import margin_tally_jobs
+
+        with make_dispatcher() as dispatcher:
+            with pytest.raises(DispatchError, match="not started"):
+                dispatcher.dispatch([])
+            dispatcher.start()
+            with pytest.raises(DispatchError, match="empty job list"):
+                dispatcher.dispatch([])
+            resolved = dist_analyzer.resolved()
+            plan = resolved.shard_plan(shards=2)
+            jobs = margin_tally_jobs(resolved, VDD, plan)
+            twice = list(jobs) + list(jobs)
+            with pytest.raises(DispatchError, match="unique"):
+                dispatcher.dispatch(twice)
+
+    def test_raw_results_without_merge(self, dist_analyzer, store_dir):
+        """run() without a merge returns per-job values in job order."""
+        from repro.distributed import margin_tally_jobs
+
+        resolved = dist_analyzer.resolved()
+        plan = resolved.shard_plan(shards=3)
+        jobs = margin_tally_jobs(resolved, VDD, plan)
+        with make_dispatcher(store_dir) as dispatcher:
+            host, port = dispatcher.start()
+            worker = WorkerThread(host, port, store_dir)
+            dispatcher.await_workers(1, timeout=10)
+            values = dispatcher.dispatch(jobs, decode=MarginTally.from_dict)
+            assert [v.block_index[0] for v in values] == [0, 2, 4]
+            merged = MarginTally.merge(values)
+            assert merged.n_samples == dist_analyzer.n_samples
+        worker.join()

@@ -1,0 +1,114 @@
+"""Tests of shard-job serialization and worker-side execution."""
+
+import pytest
+
+from repro.distributed import (
+    DirectoryStore,
+    ShardJob,
+    analyzer_from_spec,
+    execute_job,
+    margin_tally_jobs,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.sharding import ShardedMonteCarlo
+from repro.sram.montecarlo import MarginTally, tally_shard
+
+VDD = 0.7
+
+
+def jobs_for(analyzer, shards=3):
+    resolved = analyzer.resolved()
+    plan = resolved.shard_plan(shards=shards)
+    return resolved, plan, margin_tally_jobs(resolved, VDD, plan)
+
+
+class TestShardJob:
+    def test_wire_round_trip(self, dist_analyzer):
+        _, _, jobs = jobs_for(dist_analyzer)
+        for job in jobs:
+            assert ShardJob.from_wire(job.to_wire()) == job
+
+    def test_unknown_kind_rejected(self, dist_analyzer):
+        _, _, (job, *_) = jobs_for(dist_analyzer)
+        wire = job.to_wire()
+        wire["kind"] = "quantum_tally"
+        with pytest.raises(ConfigurationError, match="unknown job kind"):
+            ShardJob.from_wire(wire)
+
+    def test_missing_fields_rejected(self, dist_analyzer):
+        _, _, (job, *_) = jobs_for(dist_analyzer)
+        wire = job.to_wire()
+        del wire["payload"]
+        with pytest.raises(ConfigurationError, match="lacks fields"):
+            ShardJob.from_wire(wire)
+
+    def test_inconsistent_descriptor_rejected(self, dist_analyzer):
+        _, _, (job, *_) = jobs_for(dist_analyzer)
+        wire = job.to_wire()
+        wire["shard"] = {"start_block": 0, "n_blocks": 2, "n_samples": 10_000}
+        with pytest.raises(ConfigurationError, match="inconsistent"):
+            ShardJob.from_wire(wire)
+
+    def test_to_shard_matches_plan(self, dist_analyzer):
+        _, plan, jobs = jobs_for(dist_analyzer)
+        assert [job.to_shard() for job in jobs] == list(plan.shards())
+
+
+class TestAddressCompatibility:
+    def test_payload_equals_local_sharded_address(self, dist_analyzer):
+        """A distributed job writes to the exact store address a local
+        ``analyze_sharded`` run uses — the cross-mode dedupe contract."""
+        resolved, plan, jobs = jobs_for(dist_analyzer)
+        engine = ShardedMonteCarlo(plan)
+        spec = resolved.cache_payload(VDD)
+        for job, shard in zip(jobs, plan.shards()):
+            assert job.namespace == engine.namespace
+            assert job.payload == engine.shard_payload(spec, shard)
+
+    def test_job_ids_unique_and_ordered(self, dist_analyzer):
+        _, _, jobs = jobs_for(dist_analyzer)
+        assert len({job.job_id for job in jobs}) == len(jobs)
+        assert [job.shard_index for job in jobs] == list(range(len(jobs)))
+
+
+class TestAnalyzerFromSpec:
+    def test_spec_round_trip(self, dist_analyzer):
+        resolved = dist_analyzer.resolved()
+        spec = resolved.cache_payload(VDD)
+        rebuilt = analyzer_from_spec(spec)
+        # The rebuilt analyzer addresses the same population: identical
+        # cache payloads means identical streams, blocks and numbers.
+        assert rebuilt.cache_payload(VDD) == spec
+
+    def test_unreconstructible_spec_fails_loudly(self):
+        with pytest.raises(ConfigurationError, match="not reconstructible"):
+            analyzer_from_spec({"technology": {}, "kind": "6t"})
+
+
+class TestExecuteJob:
+    def test_computes_the_reference_tally(self, dist_analyzer):
+        resolved, plan, jobs = jobs_for(dist_analyzer)
+        for job, shard in zip(jobs, plan.shards()):
+            value, cached = execute_job(job, store=None)
+            assert cached is False
+            reference = tally_shard(resolved, VDD, shard).to_dict()
+            assert value == reference
+
+    def test_store_short_circuits_recomputation(self, dist_analyzer, store_dir):
+        store = DirectoryStore(store_dir)
+        _, _, (job, *_) = jobs_for(dist_analyzer)
+        value, cached = execute_job(job, store)
+        assert cached is False
+        again, cached_again = execute_job(job, store)
+        assert cached_again is True
+        assert again == value
+        # The cached dict decodes to the same exact tally.
+        assert MarginTally.from_dict(again) == MarginTally.from_dict(value)
+
+    def test_bad_vdd_in_spec_is_a_job_error(self, dist_analyzer):
+        _, _, (job, *_) = jobs_for(dist_analyzer)
+        wire = job.to_wire()
+        wire["spec"] = {**wire["spec"], "vdd": -1.0}
+        bad = ShardJob.from_wire(wire)
+        with pytest.raises(ConfigurationError, match="vdd"):
+            execute_job(bad, store=None)

@@ -1,0 +1,41 @@
+"""Tests of the shared cache-store abstraction."""
+
+import pytest
+
+from repro.distributed import CacheStore, DirectoryStore
+
+
+class TestDirectoryStore:
+    def test_round_trip(self, tmp_path):
+        store = DirectoryStore(str(tmp_path / "s"))
+        payload = {"cell": "6t", "vdd": 0.7, "seed": 3}
+        assert store.get("mcshard", payload) is None
+        store.put("mcshard", payload, {"fails": [1, 2]})
+        assert store.get("mcshard", payload) == {"fails": [1, 2]}
+
+    def test_shares_entries_with_result_cache(self, tmp_path):
+        """Store and ResultCache address the same bytes — the property
+        that lets distributed runs resume single-host caches."""
+        from repro.runtime import ResultCache
+
+        path = str(tmp_path / "shared")
+        ResultCache(cache_dir=path).put("mcshard", {"k": 1}, [1.5, 2.5])
+        assert DirectoryStore(path).get("mcshard", {"k": 1}) == [1.5, 2.5]
+
+    def test_describe_names_the_directory(self, tmp_path):
+        store = DirectoryStore(str(tmp_path / "s"))
+        assert store.describe() == f"directory:{tmp_path / 's'}"
+
+    def test_put_failure_degrades_not_raises(self, tmp_path, monkeypatch):
+        store = DirectoryStore(str(tmp_path / "s"))
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store.cache, "put", boom)
+        store.put("mcshard", {"k": 1}, 42)  # must not raise
+        assert store.get("mcshard", {"k": 1}) is None
+
+    def test_interface_is_abstract(self):
+        with pytest.raises(TypeError):
+            CacheStore()  # type: ignore[abstract]

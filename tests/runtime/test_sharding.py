@@ -79,6 +79,53 @@ class TestShardPlan:
             ShardPlan.plan(100, max_shard_samples=0)
 
 
+class TestShardDescriptorRoundTrip:
+    @pytest.mark.parametrize("shards", (1, 4, 13))
+    def test_every_shard_round_trips(self, shards):
+        from repro.runtime import Shard
+
+        plan = ShardPlan.plan(1600, block_samples=128, shards=shards)
+        for shard in plan.shards():
+            rebuilt = Shard.from_descriptor(
+                shard.descriptor(), block_samples=plan.block_samples,
+                index=shard.index,
+            )
+            assert rebuilt == shard
+
+    def test_partial_single_block_population(self):
+        from repro.runtime import Shard
+
+        plan = ShardPlan.plan(100, block_samples=128)
+        (shard,) = plan.shards()
+        assert Shard.from_descriptor(
+            shard.descriptor(), block_samples=128
+        ) == shard
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+        from repro.runtime import Shard
+
+        good = {"start_block": 2, "n_blocks": 2, "n_samples": 192}
+        assert Shard.from_descriptor(good, block_samples=128).blocks == (
+            (2, 128), (3, 64),
+        )
+        with pytest.raises(ConfigurationError, match="block_samples"):
+            Shard.from_descriptor(good, block_samples=0)
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            Shard.from_descriptor({**good, "n_blocks": "2"}, block_samples=128)
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            Shard.from_descriptor({"start_block": 0}, block_samples=128)
+        with pytest.raises(ConfigurationError, match="start_block"):
+            Shard.from_descriptor({**good, "start_block": -1}, block_samples=128)
+        with pytest.raises(ConfigurationError, match="n_blocks"):
+            Shard.from_descriptor({**good, "n_blocks": 0}, block_samples=128)
+        # Too many samples for the block count, and too few.
+        with pytest.raises(ConfigurationError, match="inconsistent"):
+            Shard.from_descriptor({**good, "n_samples": 300}, block_samples=128)
+        with pytest.raises(ConfigurationError, match="inconsistent"):
+            Shard.from_descriptor({**good, "n_samples": 128}, block_samples=128)
+
+
 class TestShardedBitIdentity:
     @pytest.mark.parametrize("shards", SHARD_COUNTS)
     def test_sharded_matches_monolithic(self, analyzer, monolithic, shards):
@@ -104,18 +151,18 @@ class TestShardedBitIdentity:
     def test_tally_merge_rejects_overlap(self, analyzer):
         plan = analyzer.shard_plan(shards=2)
         resolved = analyzer.resolved()
-        from repro.sram.montecarlo import _tally_shard
+        from repro.sram.montecarlo import tally_shard
 
-        tally = _tally_shard(resolved, 0.7, plan.shards()[0])
+        tally = tally_shard(resolved, 0.7, plan.shards()[0])
         with pytest.raises(ValueError, match="overlap"):
             MarginTally.merge([tally, tally])
 
     def test_tally_survives_json_round_trip(self, analyzer):
         plan = analyzer.shard_plan(shards=3)
         resolved = analyzer.resolved()
-        from repro.sram.montecarlo import _tally_shard
+        from repro.sram.montecarlo import tally_shard
 
-        tally = _tally_shard(resolved, 0.7, plan.shards()[1])
+        tally = tally_shard(resolved, 0.7, plan.shards()[1])
         import json
 
         restored = MarginTally.from_dict(json.loads(json.dumps(tally.to_dict())))
@@ -160,16 +207,16 @@ class TestShardCaching:
         resolved = analyzer.resolved()
         from functools import partial
 
-        from repro.sram.montecarlo import MarginTally, _tally_shard
+        from repro.sram.montecarlo import MarginTally, tally_shard
 
         engine = ShardedMonteCarlo(plan, cache=cache)
         for shard in plan.shards()[:2]:
-            tally = _tally_shard(resolved, 0.7, shard)
+            tally = tally_shard(resolved, 0.7, shard)
             cache.put("mcshard", engine.shard_payload(resolved.cache_payload(0.7), shard),
                       tally.to_dict())
 
         full = engine.run(
-            compute=partial(_tally_shard, resolved, 0.7),
+            compute=partial(tally_shard, resolved, 0.7),
             payload=resolved.cache_payload(0.7),
             encode=MarginTally.to_dict,
             decode=MarginTally.from_dict,
@@ -190,12 +237,12 @@ class TestShardCaching:
         plan = resolved.shard_plan(shards=4)
         from functools import partial
 
-        from repro.sram.montecarlo import _rates_from_tally, _tally_shard
+        from repro.sram.montecarlo import _rates_from_tally, tally_shard
 
         def dying_compute(shard):
             if shard.index == 2:
                 raise KeyboardInterrupt("simulated mid-run interruption")
-            return _tally_shard(resolved, 0.7, shard)
+            return tally_shard(resolved, 0.7, shard)
 
         engine = ShardedMonteCarlo(plan, cache=cache)
         with pytest.raises(KeyboardInterrupt):
@@ -212,7 +259,7 @@ class TestShardCaching:
         resumed = ResultCache(cache_dir=str(tmp_path))
         engine = ShardedMonteCarlo(plan, cache=resumed)
         full = engine.run(
-            compute=partial(_tally_shard, resolved, 0.7),
+            compute=partial(tally_shard, resolved, 0.7),
             payload=resolved.cache_payload(0.7),
             encode=MarginTally.to_dict,
             decode=MarginTally.from_dict,

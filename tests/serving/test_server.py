@@ -4,6 +4,8 @@ import asyncio
 import io
 import json
 
+import pytest
+
 from repro.serving import (
     BatchingEvaluator,
     EvalRequest,
@@ -132,6 +134,154 @@ class TestStdio:
         assert [d["id"] for d in decoded] == ["a", "b"]
         assert decoded[0]["result"] == decoded[1]["result"]
         assert evaluator.stats.evaluations == 1  # the pair coalesced
+
+
+class TestStatsRequest:
+    def test_stats_control_line(self, serving_sim):
+        """A ``{"type": "stats"}`` line returns the live counters and is
+        not itself counted as a request."""
+        lines = [
+            line(config="base", vdd=0.70, id="warm"),
+            line(type="stats", id="probe"),
+        ]
+
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.0)
+            # Sequential submission so the probe observes the request.
+            first = await respond_lines(evaluator, lines[:1])
+            probe = await respond_lines(evaluator, lines[1:])
+            await evaluator.close()
+            return first + probe
+
+        decoded = [json.loads(o) for o in asyncio.run(run())]
+        assert decoded[0]["ok"] is True
+        stats = decoded[1]
+        assert stats["ok"] is True and stats["id"] == "probe"
+        assert stats["type"] == "stats"
+        assert stats["stats"]["requests"] == 1
+        assert stats["stats"]["evaluations"] == 1
+
+    def test_unknown_control_type_rejected(self, serving_sim):
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.0)
+            out = await respond_lines(
+                evaluator, [line(type="reboot", id="nope")]
+            )
+            await evaluator.close()
+            return out
+
+        (response,) = [json.loads(o) for o in asyncio.run(run())]
+        assert response["ok"] is False and response["id"] == "nope"
+        assert response["code"] == "bad_request"
+        assert "unknown control type" in response["error"]
+
+    def test_error_responses_carry_codes(self, serving_sim):
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.0)
+            out = await respond_lines(
+                evaluator, ["{broken", line(config="nope", vdd=0.7)]
+            )
+            await evaluator.close()
+            return out
+
+        decoded = [json.loads(o) for o in asyncio.run(run())]
+        assert [d["code"] for d in decoded] == ["bad_request", "bad_request"]
+
+    def test_probe_helper_against_tcp_server(self, serving_sim):
+        from repro.serving.server import request_stats
+
+        async def run():
+            evaluator = BatchingEvaluator(serving_sim, cache=None,
+                                          batch_window=0.0)
+            server = await serve_tcp(evaluator, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            # The blocking socket client must not share this loop.
+            stats = await asyncio.get_running_loop().run_in_executor(
+                None, request_stats, "127.0.0.1", port
+            )
+            server.close()
+            await server.wait_closed()
+            await evaluator.close()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats["requests"] == 0
+        assert set(stats) >= {"requests", "cache_hits", "coalesced",
+                              "batches", "evaluations", "errors"}
+
+
+class _GatedEvaluator:
+    """Stub evaluator whose submissions block until the test releases
+    them — deterministic in-flight pressure for backpressure tests."""
+
+    def __init__(self):
+        from repro.serving import ServingStats
+
+        self.stats = ServingStats()
+        self.gate = asyncio.Event()
+
+    async def submit(self, request):
+        self.stats.requests += 1
+        await self.gate.wait()
+        self.stats.evaluations += 1
+        return {"vdd": request.vdd}
+
+    async def close(self):
+        pass
+
+
+class TestBackpressure:
+    def test_overloaded_response_when_inflight_bound_hit(self):
+        """With max_inflight=1, a pipelined burst gets one answer and
+        structured 'overloaded' refusals for the rest — and the
+        connection keeps working afterwards."""
+
+        async def run():
+            evaluator = _GatedEvaluator()
+            server = await serve_tcp(
+                evaluator, host="127.0.0.1", port=0, max_inflight=1
+            )
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            burst = [line(config="base", vdd=0.70, id=f"r{i}") for i in range(3)]
+            writer.write(("\n".join(burst) + "\n").encode())
+            await writer.drain()
+            # Two refusals arrive while r0 is gated.
+            refused = [
+                json.loads(await asyncio.wait_for(reader.readline(), 30))
+                for _ in range(2)
+            ]
+            evaluator.gate.set()
+            answered = json.loads(
+                await asyncio.wait_for(reader.readline(), 30)
+            )
+            # The connection survived: a post-burst request succeeds.
+            writer.write((line(config="base", vdd=0.75, id="later") + "\n").encode())
+            await writer.drain()
+            later = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            return refused, answered, later
+
+        refused, answered, later = asyncio.run(run())
+        assert [r["ok"] for r in refused] == [False, False]
+        assert {r["code"] for r in refused} == {"overloaded"}
+        assert {r["id"] for r in refused} == {"r1", "r2"}
+        assert all("overloaded" in r["error"] for r in refused)
+        assert answered["ok"] is True and answered["id"] == "r0"
+        assert later["ok"] is True and later["id"] == "later"
+
+    def test_max_inflight_validation(self):
+        async def run():
+            with pytest.raises(ValueError, match="max_inflight"):
+                await serve_tcp(_GatedEvaluator(), max_inflight=0)
+
+        asyncio.run(run())
 
 
 class TestTcp:

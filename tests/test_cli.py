@@ -73,6 +73,53 @@ class TestParser:
         # serve shares the sweep-runtime knobs (it builds the same
         # simulator under the hood).
         assert defaults.jobs is None and defaults.no_cache is False
+        # Serving hardening: backpressure bound and the stats probe.
+        assert defaults.max_inflight == 64 and defaults.stats is False
+        probe = parser.parse_args(["serve", "--stats", "--max-inflight", "8"])
+        assert probe.stats is True and probe.max_inflight == 8
+
+    def test_worker_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["worker", "--connect", "10.0.0.5:8417",
+             "--cache-dir", "/mnt/store", "--name", "rack3-a",
+             "--max-jobs", "100"]
+        )
+        assert args.command == "worker"
+        assert args.connect == "10.0.0.5:8417"
+        assert args.cache_dir == "/mnt/store"
+        assert args.name == "rack3-a" and args.max_jobs == 100
+        with pytest.raises(SystemExit):  # --connect is required
+            parser.parse_args(["worker"])
+
+    def test_dispatch_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["dispatch", "--listen", "0.0.0.0:9001",
+             "--cache-dir", "/mnt/store", "--max-retries", "5",
+             "--min-workers", "2", "--cell", "8t", "--samples", "4000",
+             "--vdd", "0.65", "--vdd", "0.7", "--shards", "8",
+             "--max-shard-samples", "1024", "--block-samples", "512"]
+        )
+        assert args.command == "dispatch"
+        assert args.listen == "0.0.0.0:9001"
+        assert args.max_retries == 5 and args.min_workers == 2
+        assert args.vdd == [0.65, 0.7]
+        assert args.shards == 8 and args.block_samples == 512
+        defaults = parser.parse_args(["dispatch"])
+        assert defaults.listen == "127.0.0.1:8417"
+        assert defaults.max_retries == 3 and defaults.min_workers == 1
+        assert defaults.vdd is None and defaults.stats is False
+
+    def test_endpoint_parsing(self):
+        from repro.cli import _parse_endpoint
+        from repro.errors import ConfigurationError
+
+        assert _parse_endpoint("10.0.0.5:8417", "--connect") == ("10.0.0.5", 8417)
+        with pytest.raises(ConfigurationError, match="HOST:PORT"):
+            _parse_endpoint("8417", "--connect")
+        with pytest.raises(ConfigurationError, match="port"):
+            _parse_endpoint("host:abc", "--connect")
 
 
 class TestCharacterizeCommand:
