@@ -19,6 +19,10 @@ Two environment knobs tune the harness without editing code:
 * ``REPRO_BENCH_BLOCK_SAMPLES`` — samples per seeded block (sharding
   granularity).  Unlike the knobs above this *defines* the sampled
   population; leave unset to keep the historical streams.
+* ``REPRO_BACKEND`` — margin-kernel backend (``reference`` | ``fused``,
+  default ``fused``; see :mod:`repro.kernels` and
+  ``benchmarks/bench_margin_kernels.py``).  Backends are bit-identical,
+  so like the execution knobs it cannot change a number.
 
 Every benchmark prints the regenerated paper table (so it lands in
 ``bench_output.txt``) and also writes it to ``benchmarks/results/`` —

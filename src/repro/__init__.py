@@ -15,6 +15,9 @@ The package is organised as a circuit-to-system pipeline:
   failure statistics.
 * :mod:`repro.core` — the paper's contribution: significance-driven and
   sensitivity-driven hybrid memory design plus the end-to-end simulator.
+* :mod:`repro.kernels` — interchangeable, bit-identical margin-kernel
+  backends behind the failure-margin hot path (``reference`` and the
+  stacked-bisection ``fused`` default; see ``docs/performance.md``).
 * :mod:`repro.runtime` — parallel sweep executor, content-addressed
   result cache, sharded Monte Carlo, single-flight request coalescing.
 * :mod:`repro.serving` — async batch-serving front-end over the

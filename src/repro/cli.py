@@ -59,6 +59,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "32768, chosen so standard sample counts keep "
                              "their historical streams); populations no "
                              "larger than one block cannot be split")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="margin-kernel backend for the Monte-Carlo "
+                             "margin evaluation (reference | fused; "
+                             "default: REPRO_BACKEND env var, else fused). "
+                             "Backends are bit-identical - this only "
+                             "changes speed, never a number")
 
 
 def _build_sim(args) -> CircuitToSystemSimulator:
@@ -69,6 +75,7 @@ def _build_sim(args) -> CircuitToSystemSimulator:
         use_cache=not args.no_cache, jobs=args.jobs,
         shards=args.shards, max_shard_samples=args.max_shard_samples,
         block_samples=args.block_samples,
+        backend=getattr(args, "backend", None),
     )
     return CircuitToSystemSimulator(model, tables=tables, n_trials=args.trials,
                                     jobs=args.jobs)
@@ -84,6 +91,7 @@ def cmd_characterize(args) -> int:
         shards=args.shards,
         max_shard_samples=args.max_shard_samples,
         block_samples=args.block_samples,
+        backend=args.backend,
     )
     rows = [
         [p.vdd, f"{p.p_read_access:.3e}", f"{p.p_write:.3e}",
@@ -228,6 +236,7 @@ def cmd_dispatch(args) -> int:
         n_samples=args.samples,
         block_samples=(args.block_samples if args.block_samples is not None
                        else DEFAULT_BLOCK_SAMPLES),
+        backend=args.backend,
     )
     vdds = tuple(args.vdd) if args.vdd else DEFAULT_VDD_GRID
     with ShardDispatcher(
@@ -355,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-jobs", type=int, default=None, metavar="K",
                    help="exit cleanly after K jobs (drain hook for rolling "
                         "restarts; default: serve until the dispatcher stops)")
+    p.add_argument("--backend", default=None, metavar="NAME",
+                   help="margin-kernel backend this worker evaluates shard "
+                        "jobs with (reference | fused; default: "
+                        "REPRO_BACKEND, else fused; bit-identical either "
+                        "way, so mixed fleets stay exact)")
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
@@ -391,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-samples", type=int, default=None, metavar="B",
                    help="samples per seeded block (population-defining; "
                         "default 32768)")
+    p.add_argument("--backend", default=None, metavar="NAME",
+                   help="margin-kernel backend (reference | fused); "
+                        "canonical backends share cache entries, so this "
+                        "never invalidates the fleet's shared store")
     p.add_argument("--stats", action="store_true",
                    help="probe a RUNNING dispatcher at --connect for its "
                         "counters and exit (starts nothing)")
@@ -408,6 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        # Process-wide default (validates the name up front); the
+        # builders additionally pin it on their analyzers so spawned
+        # sweep workers inherit the choice.
+        from repro.kernels import set_backend
+
+        set_backend(backend)
     return args.func(args)
 
 

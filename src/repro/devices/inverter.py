@@ -41,7 +41,7 @@ def solve_node_voltage(
     v_lo: ArrayLike,
     v_hi: ArrayLike,
     shape: tuple = (),
-) -> np.ndarray:
+) -> ArrayLike:
     """Solve ``net_pulldown(v) = 0`` for ``v`` in ``[v_lo, v_hi]`` by bisection.
 
     Parameters
@@ -128,7 +128,7 @@ class Inverter:
         vdd: float,
         dvt_n: ArrayLike = 0.0,
         dvt_p: ArrayLike = 0.0,
-    ) -> np.ndarray:
+    ) -> ArrayLike:
         """Static output voltage for the given input (vectorized).
 
         ``vin`` and the ΔVT arguments broadcast together; the result has
@@ -151,7 +151,7 @@ class Inverter:
         vdd: float,
         dvt_n: ArrayLike = 0.0,
         dvt_p: ArrayLike = 0.0,
-    ) -> np.ndarray:
+    ) -> ArrayLike:
         """Input voltage at which ``vout == vin`` (the trip point).
 
         This is the metastable point of the inverter; a disturbed storage

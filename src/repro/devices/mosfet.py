@@ -33,7 +33,7 @@ may be numpy arrays of any broadcast-compatible shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -162,7 +162,9 @@ class Mosfet:
         hi = self.current(vgs, vds + delta, dvt=dvt)
         return float((hi - lo) / (2 * delta))
 
-    def resized(self, width: float = None, length: float = None) -> "Mosfet":
+    def resized(
+        self, width: Optional[float] = None, length: Optional[float] = None
+    ) -> "Mosfet":
         """A copy of this device with new geometry (used by sizing search)."""
         return Mosfet(
             params=self.params,
@@ -172,7 +174,12 @@ class Mosfet:
         )
 
 
-def nmos(technology: Technology, width: float, length: float = None, name: str = "") -> Mosfet:
+def nmos(
+    technology: Technology,
+    width: float,
+    length: Optional[float] = None,
+    name: str = "",
+) -> Mosfet:
     """Construct an NMOS device in ``technology`` (length defaults to Lmin)."""
     return Mosfet(
         params=technology.nmos,
@@ -182,7 +189,12 @@ def nmos(technology: Technology, width: float, length: float = None, name: str =
     )
 
 
-def pmos(technology: Technology, width: float, length: float = None, name: str = "") -> Mosfet:
+def pmos(
+    technology: Technology,
+    width: float,
+    length: Optional[float] = None,
+    name: str = "",
+) -> Mosfet:
     """Construct a PMOS device in ``technology`` (length defaults to Lmin)."""
     return Mosfet(
         params=technology.pmos,

@@ -185,6 +185,10 @@ def analyzer_from_spec(spec: Dict[str, Any]) -> MonteCarloAnalyzer:
                 rows=int(spec["bitline"]["rows"]),
                 port_width=spec["bitline"]["port_width"],
             )
+        # Canonical margin backends never appear in the spec (they are
+        # bit-identical, so the worker's own default applies); a
+        # nonzero-rev backend travels with the population identity.
+        kernel = spec.get("margin_kernel") or {}
         return MonteCarloAnalyzer(
             cell=cell,
             n_samples=int(spec["n_samples"]),
@@ -192,6 +196,7 @@ def analyzer_from_spec(spec: Dict[str, Any]) -> MonteCarloAnalyzer:
             seed=int(spec["seed"]),
             read_cycle=float(spec["read_cycle"]),
             block_samples=int(spec["block_samples"]),
+            backend=kernel.get("backend"),
         )
     except (KeyError, TypeError) as exc:
         raise ConfigurationError(

@@ -1,0 +1,582 @@
+"""The ``fused`` margin backend: one stacked bisection for every margin.
+
+The reference path answers "what are this block's failure margins" with
+up to five *independent* 60-iteration vectorized bisections (read bump,
+write node, both trip voltages, 8T read-stack node — and it solves the
+read bump twice, once for the read current and once for the disturb
+margin), each iteration re-deriving per-device constants from the
+``Mosfet``/``Inverter`` object model and allocating dozens of fresh
+temporaries.  This backend removes that overhead while producing
+**bit-identical** arrays:
+
+* **Coefficient table** — :func:`_compile` flattens the cell into one
+  row per (equation, device) term: the precombined ``k' * W/L`` drive,
+  alpha exponent, subthreshold ``n * vT``, Pelgrom-shifted threshold
+  base, DIBL/CLM coefficients, and the map from the node voltage to the
+  device's ``(vgs, vds)`` bias.  Bisection iterations are pure array
+  math with no dataclass attribute chasing.
+* **Stacked bisection** — all independent node equations of a sample
+  block are solved in one ``(n_equations, n_samples)`` bisection with a
+  single midpoint update, one device-model evaluation over the whole
+  ``(n_terms, n_samples)`` stack, and preallocated ``out=`` scratch (no
+  per-iteration temporaries).  Samples are processed in cache-sized
+  column chunks, each run through all its iterations while its state is
+  hot.
+* **Converged-lane skipping** — lanes pinned at a supply rail are
+  detected from the bracket evaluations exactly as the reference solver
+  does; monotonicity then fixes their bisection direction, so samples
+  whose every lane is pinned drop out of the model evaluation entirely
+  (their results are the rail overrides, and their bracket-width
+  trajectories collapse to two scalar recurrences shared by all such
+  lanes).
+
+Iteration count.  The reference solver stops when ``max(hi - lo)`` over
+the batch drops below ``_V_TOL``; every lane starts from the same
+``[0, vdd]`` bracket and each step halves the bracket up to one rounding
+of at most ``u * vdd`` (``u`` = 2^-53), so after ``k`` iterations every
+lane's tested width is within ``3 u vdd`` of ``vdd * 2**-k``.  Whenever
+``vdd * 2**-k`` clears the tolerance by more than that slack (checked
+with a 1e-12 safety band, thousands of times the rigorous bound for any
+realistic supply), the stop iteration is a pure function of ``vdd`` and
+is precomputed — chunks then run fully independently with no width
+bookkeeping.  For a ``vdd`` inside the tiny ambiguous band the solver
+falls back to a synchronized loop that replays the reference width test
+verbatim.
+
+Exactness discipline: every floating-point operation either follows the
+reference path's order and associativity, or is replaced by an
+operation proven to produce the same bits (sign-symmetric folds of
+negations, ``min``-clipped saturation blending, bitwise bracket
+selection).  The property suite in ``tests/kernels/`` locks the
+contract elementwise.
+
+Inputs the stacked path does not cover (scalar or 1-D ΔVT probes, empty
+blocks, cell kinds without a compiled topology) delegate to the
+reference backend unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.devices.inverter import _MAX_BISECTIONS, _V_TOL
+from repro.devices.mosfet import Mosfet
+from repro.devices.technology import THERMAL_VOLTAGE
+from repro.kernels.base import ArrayLike, MarginKernel, register_backend
+from repro.kernels.reference import REFERENCE
+from repro.sram.bitcell import (
+    PD_L,
+    PD_R,
+    PG_L,
+    PG_R,
+    PU_L,
+    PU_R,
+    RPD,
+    RPG,
+    BitcellBase,
+    EightTCell,
+)
+from repro.sram.failures import FailureMargins
+from repro.sram.read_path import BitlineModel
+
+#: Bias sources: the node voltage itself, its VDD complement, or a rail.
+_V, _W, _VDD, _ZERO = "v", "w", "vdd", "zero"
+
+#: Samples per solver chunk.  Chosen so one chunk's full working set
+#: (term scratch + bracket state) stays cache-resident while ufunc
+#: dispatch overhead remains negligible.
+_CHUNK = 8192
+
+#: Safety band around the width-tolerance crossing inside which the
+#: stop iteration is not predicted but measured (see module docstring).
+#: The rigorous trajectory bound is ``3 * 2**-53 * vdd`` — this band is
+#: ~3000x wider for a 1 V supply.
+_WIDTH_SAFETY = 1e-12
+
+#: All-ones / all-zeros masks for the bitwise bracket select.
+_U64 = np.uint64
+
+
+def _fixed_stop_iteration(vdd: float) -> Optional[int]:
+    """The reference solver's stop iteration, when provable from ``vdd``.
+
+    Returns ``None`` when ``vdd * 2**-k`` lands inside the safety band
+    around ``_V_TOL`` for some ``k`` before clearing it — the caller
+    must then fall back to measuring widths like the reference does.
+    """
+    for k in range(1, _MAX_BISECTIONS + 1):
+        width = vdd * 2.0 ** -k  # exact: scaling by a power of two
+        if width < _V_TOL - _WIDTH_SAFETY:
+            return k
+        if width <= _V_TOL + _WIDTH_SAFETY:
+            return None
+    return _MAX_BISECTIONS
+
+
+class _CellTable:
+    """Flat per-term coefficient table of one cell's node equations.
+
+    Term order matters: within each equation the terms appear in the
+    reference path's accumulation order — one positive pull-down term
+    followed by the negative pull-up/access terms — so the folded sum
+    below reproduces its exact sequence of subtractions.
+    """
+
+    __slots__ = (
+        "n_eqs", "eq_idx", "vgs_src", "vds_src", "cols", "vt0",
+        "k_aspect", "alpha", "n_vt", "dibl", "lambda_cl", "vdsat_factor",
+        "accum",
+    )
+
+    def __init__(
+        self,
+        n_eqs: int,
+        terms: List[Tuple[int, int, Mosfet, str, str, int]],
+    ) -> None:
+        self.n_eqs = n_eqs
+        self.eq_idx = tuple(t[0] for t in terms)
+        self.vgs_src = tuple(t[3] for t in terms)
+        self.vds_src = tuple(t[4] for t in terms)
+        self.cols = tuple(t[5] for t in terms)
+        # Accumulation program per equation: the term rows in reference
+        # order.  The scratch holds p_t = -i_t (the drain-clamp negation
+        # is folded into the expm1 argument), so the reference chain
+        # (i_0 - i_1) - i_2 is exactly ((p_1 - p_0) + p_2): IEEE
+        # negation is a sign flip and x - (-y) == x + y bit-for-bit.
+        per_eq: List[List[int]] = [[] for _ in range(n_eqs)]
+        for t, term in enumerate(terms):
+            per_eq[term[0]].append(t)
+        for e, rows in enumerate(per_eq):
+            assert len(rows) >= 2, f"equation {e} needs >= 2 terms"
+            signs = [terms[t][1] for t in rows]
+            assert signs[0] > 0 and all(s < 0 for s in signs[1:]), (
+                "stacked equations must be (pull-down) - sum(pull-ups)"
+            )
+        self.accum = tuple(tuple(rows) for rows in per_eq)
+        devices = [t[2] for t in terms]
+        # Scalar model-card constants, combined exactly as Mosfet.current
+        # combines them, stored as (T, 1) columns for row broadcasting.
+        self.vt0 = tuple(d.params.vt0 for d in devices)
+        self.k_aspect = self._column(
+            [d.params.k_prime * d.aspect for d in devices]
+        )
+        self.alpha = self._column([d.params.alpha for d in devices])
+        self.n_vt = self._column(
+            [d.params.ideality * THERMAL_VOLTAGE for d in devices]
+        )
+        self.dibl = self._column([d.params.dibl for d in devices])
+        self.lambda_cl = self._column([d.params.lambda_cl for d in devices])
+        self.vdsat_factor = self._column(
+            [d.params.vdsat_factor for d in devices]
+        )
+
+    @staticmethod
+    def _column(values: List[float]) -> np.ndarray:
+        return np.asarray(values, dtype=float)[:, np.newaxis]
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.eq_idx)
+
+
+def _compile(cell: BitcellBase) -> Optional[_CellTable]:
+    """Stack the cell's independent node equations into a term table.
+
+    Equation roles (6T): 0 = read bump (solved once, reused for both the
+    read current and the disturb margin — the reference path bisects it
+    twice), 1 = write node at full wordline drive, 2 = right trip
+    voltage, 3 = left trip voltage.  For 8T: 0 = RPG/RPD internal stack
+    node, 1 = write node, 2 = right trip voltage (no disturb equation —
+    the decoupled read port is disturb-free by construction).
+    """
+    if cell.kind == "6t":
+        return _CellTable(4, [
+            # read bump: PD_R pulls down; PU_R (gate at VL=VDD -> Vsg=0)
+            # and the precharged-bitline access device PG_R push up.
+            (0, +1, cell.pull_down_right, _VDD, _V, PD_R),
+            (0, -1, cell.pull_up_right, _ZERO, _W, PU_R),
+            (0, -1, cell.pass_gate_right, _W, _W, PG_R),
+            # write node: PG_L into the grounded bitline vs PU_L.
+            (1, +1, cell.pass_gate_left, _VDD, _V, PG_L),
+            (1, -1, cell.pull_up_left, _VDD, _W, PU_L),
+            # trip voltages: vin = vout = v on each inverter.
+            (2, +1, cell.pull_down_right, _V, _V, PD_R),
+            (2, -1, cell.pull_up_right, _W, _W, PU_R),
+            (3, +1, cell.pull_down_left, _V, _V, PD_L),
+            (3, -1, cell.pull_up_left, _W, _W, PU_L),
+        ])
+    if cell.kind == "8t":
+        assert isinstance(cell, EightTCell)
+        return _CellTable(3, [
+            (0, +1, cell.read_down, _VDD, _V, RPD),
+            (0, -1, cell.read_pass, _W, _W, RPG),
+            (1, +1, cell.pass_gate_left, _VDD, _V, PG_L),
+            (1, -1, cell.pull_up_left, _VDD, _W, PU_L),
+            (2, +1, cell.pull_down_right, _V, _V, PD_R),
+            (2, -1, cell.pull_up_right, _W, _W, PU_R),
+        ])
+    return None
+
+
+class _ChunkKernel:
+    """Preallocated solver scratch for up to ``cs`` samples.
+
+    All buffers are row-major ``(n_terms, cs)`` / ``(n_eqs, cs)`` so
+    every term/equation row is contiguous; one allocation serves every
+    chunk of a block.  ``u64`` views of the bracket buffers drive the
+    bitwise conditional update.
+    """
+
+    def __init__(self, table: _CellTable, vdd: float, cs: int) -> None:
+        t_count, e_count = table.n_terms, table.n_eqs
+        self.table = table
+        self.vdd = vdd
+        self.cs = cs
+        self.VG = np.empty((t_count, cs))
+        self.VD = np.empty((t_count, cs))
+        self.A = np.empty((t_count, cs))
+        self.B = np.empty((t_count, cs))
+        self.C = np.empty((t_count, cs))
+        self.D = np.empty((t_count, cs))
+        self.M1 = np.empty((t_count, cs), dtype=bool)
+        self.M2 = np.empty((t_count, cs), dtype=bool)
+        self.W = np.empty((e_count, cs))
+        self.F = np.empty((e_count, cs))
+        self.MID = np.empty((e_count, cs))
+        self.LO = np.zeros((e_count, cs))
+        self.HI = np.full((e_count, cs), vdd)
+        self.GO = np.empty((e_count, cs), dtype=bool)
+        # The bitwise-select scratch overlays the term buffers: by
+        # bracket-update time the freshly accumulated F is the only
+        # live product of eval_f, so A..D's storage is free (n_terms >=
+        # n_eqs always holds for the compiled topologies).
+        assert t_count >= e_count
+        self.GOU = self.C.view(_U64)[:e_count]
+        self.NGOU = self.D.view(_U64)[:e_count]
+        self.S1 = self.A.view(_U64)[:e_count]
+        self.S2 = self.B.view(_U64)[:e_count]
+        self.LOU = self.LO.view(_U64)
+        self.HIU = self.HI.view(_U64)
+        self.MIDU = self.MID.view(_U64)
+        # Constant gate rows (VDD-driven and grounded gates) never change.
+        for t, src in enumerate(table.vgs_src):
+            if src == _VDD:
+                self.VG[t].fill(vdd)
+            elif src == _ZERO:
+                self.VG[t].fill(0.0)
+
+    def reset_brackets(self, m: int) -> None:
+        """Fresh ``[0, vdd]`` brackets for a chunk of ``m`` samples."""
+        self.LO[:, :m].fill(0.0)
+        self.HI[:, :m].fill(self.vdd)
+
+    def eval_f(self, v_nodes: np.ndarray, vt_base: np.ndarray, m: int) -> np.ndarray:
+        """Net pull-down of every equation at ``v_nodes`` (first ``m`` lanes).
+
+        Mirrors :meth:`repro.devices.mosfet.Mosfet.current` operation
+        for operation (``Mosfet.current`` additionally clips vds to
+        >= 0, but every stacked bias is the node voltage or its VDD
+        complement and floating-point midpoints of in-range values stay
+        in range, so the clip is the identity and is elided).
+        """
+        tb = self.table
+        sl = np.s_[:, :m]
+        VG, VD = self.VG[sl], self.VD[sl]
+        A, B, C, D = self.A[sl], self.B[sl], self.C[sl], self.D[sl]
+        W = self.W[sl]
+        np.subtract(self.vdd, v_nodes, out=W)
+        for t in range(tb.n_terms):
+            e = tb.eq_idx[t]
+            src = tb.vgs_src[t]
+            if src == _V:
+                np.copyto(VG[t], v_nodes[e])
+            elif src == _W:
+                np.copyto(VG[t], W[e])
+            np.copyto(VD[t], v_nodes[e] if tb.vds_src[t] == _V else W[e])
+        np.multiply(VD, tb.dibl, out=A)
+        np.subtract(vt_base, A, out=A)                   # vt_eff
+        np.subtract(VG, A, out=A)
+        np.divide(A, tb.n_vt, out=A)                     # u
+        self._softplus(A, B, m)                          # softplus(u)
+        np.multiply(B, tb.n_vt, out=B)                   # vov
+        np.power(B, tb.alpha, out=C)
+        np.multiply(C, tb.k_aspect, out=C)               # k' W/L vov^a
+        np.multiply(VD, tb.lambda_cl, out=D)
+        np.add(D, 1.0, out=D)
+        np.multiply(C, D, out=C)                         # id_sat
+        # Linear/saturation blend.  The reference computes
+        #   x = where(vdsat > 0, vds / max(vdsat, 1e-30), inf)
+        #   region = where(x < 1, x * (2 - x), 1)
+        # Masked selection is slow, so use the exact-product
+        # equivalent: clip x at 1 (min(x, 1) = 1 wherever x >= 1, and
+        # 1 * (2 - 1) == 1.0 exactly) and skip the vdsat > 0 guard
+        # (vdsat <= 0 requires vov == 0 or NaN, where id_sat is 0 or
+        # NaN and the drain current matches bit-for-bit either way).
+        np.multiply(B, tb.vdsat_factor, out=B)           # vdsat
+        np.maximum(B, 1e-30, out=D)
+        np.divide(VD, D, out=D)                          # x = vds/vdsat
+        np.minimum(D, 1.0, out=D)
+        np.subtract(2.0, D, out=B)
+        np.multiply(D, B, out=B)                         # region
+        np.multiply(C, B, out=C)
+        # Drain clamp, sign-folded: the reference multiplies by
+        # -expm1(-vds/vT); dividing by -vT gives the same expm1
+        # argument (IEEE division sign symmetry), so C holds
+        # p_t = -i_t and the folded accumulation below restores the
+        # reference's exact subtraction chain.
+        np.divide(VD, -THERMAL_VOLTAGE, out=D)
+        np.expm1(D, out=D)
+        np.multiply(C, D, out=C)                         # p_t = -i_t
+        f = self.F[sl]
+        for e, rows in enumerate(tb.accum):
+            np.subtract(C[rows[1]], C[rows[0]], out=f[e])
+            for t in rows[2:]:
+                np.add(f[e], C[t], out=f[e])
+        return f
+
+    def _softplus(self, x: np.ndarray, out: np.ndarray, m: int) -> None:
+        """Numerically safe ``log1p(exp(x))`` into preallocated scratch.
+
+        Same region split as :func:`repro.devices.mosfet._softplus`; the
+        all-interior case (every realistic bias) runs alloc-free.
+        """
+        pos, neg = self.M1[:, :m], self.M2[:, :m]
+        np.greater(x, 30.0, out=pos)
+        np.less(x, -30.0, out=neg)
+        if not pos.any() and not neg.any():
+            tmp = self.D[:, :m]
+            np.exp(x, out=tmp)
+            np.log1p(tmp, out=out)
+            return
+        mid = ~(pos | neg)
+        out[pos] = x[pos]
+        out[neg] = np.exp(x[neg])
+        out[mid] = np.log1p(np.exp(x[mid]))
+
+    def update_brackets(self, m: int) -> None:
+        """One bisection step from the freshly evaluated ``F``.
+
+        ``lo = where(f < 0, mid, lo)``; ``hi = where(f < 0, hi, mid)`` —
+        realised as a bitwise select on the u64 views (exact for every
+        payload, including infinities and NaNs): masked numpy stores are
+        several times slower than three vectorized bitwise ops.
+        """
+        sl = np.s_[:, :m]
+        go, gou, ngou = self.GO[sl], self.GOU[sl], self.NGOU[sl]
+        s1, s2 = self.S1[sl], self.S2[sl]
+        lou, hiu, midu = self.LOU[sl], self.HIU[sl], self.MIDU[sl]
+        np.less(self.F[sl], 0.0, out=go)
+        np.copyto(gou, go, casting="unsafe")             # 0 / 1
+        np.negative(gou, out=gou)                        # 0 / all-ones
+        np.invert(gou, out=ngou)
+        np.bitwise_and(midu, gou, out=s1)
+        np.bitwise_and(lou, ngou, out=s2)
+        np.bitwise_or(s1, s2, out=lou)                   # lo
+        np.bitwise_and(hiu, gou, out=s1)
+        np.bitwise_and(midu, ngou, out=s2)
+        np.bitwise_or(s1, s2, out=hiu)                   # hi
+
+    def midpoint(self, m: int) -> np.ndarray:
+        """``0.5 * (lo + hi)`` into the MID buffer (reference order)."""
+        mid = self.MID[:, :m]
+        np.add(self.LO[:, :m], self.HI[:, :m], out=mid)
+        np.multiply(mid, 0.5, out=mid)
+        return mid
+
+
+def _solve_fixed(
+    kern: _ChunkKernel,
+    vt_base: np.ndarray,
+    n: int,
+    k_stop: int,
+    out: np.ndarray,
+) -> None:
+    """Chunked stacked bisection with a precomputed stop iteration.
+
+    Chunks are independent (no width synchronization needed), so each
+    runs all its iterations while its bracket state and scratch stay
+    cache-hot.
+    """
+    cs = kern.cs
+    for start in range(0, n, cs):
+        m = min(cs, n - start)
+        vt = vt_base[:, start:start + m]
+        kern.reset_brackets(m)
+        for _ in range(k_stop):
+            mid = kern.midpoint(m)
+            kern.eval_f(mid, vt, m)
+            kern.update_brackets(m)
+        out[:, start:start + m] = kern.midpoint(m)
+
+
+def _solve_dynamic(
+    table: _CellTable,
+    vdd: float,
+    vt_base: np.ndarray,
+    n: int,
+    has_det_up: np.ndarray,
+    has_det_down: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Synchronized stacked bisection replaying the reference width test.
+
+    Used when ``vdd`` lands in the tiny band where the stop iteration
+    cannot be predicted (and the width trajectories must be measured),
+    and whenever rail-pinned lanes were compacted away while their
+    deterministic width recurrences still join the convergence test
+    (``has_det_up`` / ``has_det_down`` flag the equations owning them).
+    """
+    e_count = table.n_eqs
+    kern = _ChunkKernel(table, vdd, max(n, 1))
+    width = np.empty(n)
+    done = np.zeros(e_count, dtype=bool)
+    lo_up = 0.0    # forced-up pinned lanes: lo after k halvings toward vdd
+    hi_down = vdd  # pinned-low lanes: hi after k halvings toward 0
+    for _ in range(_MAX_BISECTIONS):
+        if n:
+            mid = kern.midpoint(n)
+            kern.eval_f(mid, vt_base, n)
+            kern.update_brackets(n)
+        lo_up = 0.5 * (lo_up + vdd)
+        hi_down = 0.5 * hi_down
+        for e in range(e_count):
+            if done[e]:
+                continue
+            w = -np.inf
+            if n:
+                np.subtract(kern.HI[e, :n], kern.LO[e, :n], out=width)
+                w = float(width.max())
+            if has_det_up[e]:
+                w = max(w, vdd - lo_up)
+            if has_det_down[e]:
+                w = max(w, hi_down)
+            if w < _V_TOL:
+                if n:
+                    np.add(kern.LO[e, :n], kern.HI[e, :n], out=out[e])
+                    out[e] *= 0.5
+                done[e] = True
+        if done.all():
+            break
+    for e in range(e_count):
+        if not done[e] and n:
+            np.add(kern.LO[e, :n], kern.HI[e, :n], out=out[e])
+            out[e] *= 0.5
+
+
+class FusedKernel(MarginKernel):
+    """Stacked-bisection margin evaluation over a compiled cell table."""
+
+    name = "fused"
+
+    def margins(
+        self,
+        cell: BitcellBase,
+        vdd: float,
+        dvt: ArrayLike,
+        bitline: BitlineModel,
+        read_cycle: float,
+    ) -> FailureMargins:
+        dvt_arr = np.asarray(dvt, dtype=float)
+        table = _compile(cell)
+        if table is None or dvt_arr.ndim != 2 or dvt_arr.shape[0] == 0:
+            # Scalar/1-D probes and unknown topologies: nothing to stack.
+            return REFERENCE.margins(cell, vdd, dvt, bitline, read_cycle)
+        vdd_f = float(vdd)
+        n = dvt_arr.shape[0]
+        e_count = table.n_eqs
+
+        # Pelgrom-shifted threshold base per term (vt0 + dvt, the
+        # reference association), iteration-invariant.
+        vt_base = np.empty((table.n_terms, n))
+        for t, col in enumerate(table.cols):
+            np.add(dvt_arr[:, col], table.vt0[t], out=vt_base[t])
+
+        kern = _ChunkKernel(table, vdd_f, min(n, _CHUNK))
+
+        # Bracket evaluations (the reference solver's pinned-rail test).
+        pinned_lo = np.empty((e_count, n), dtype=bool)
+        pinned_hi = np.empty((e_count, n), dtype=bool)
+        forced_up = np.empty((e_count, n), dtype=bool)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            for start in range(0, n, kern.cs):
+                m = min(kern.cs, n - start)
+                span = np.s_[:, start:start + m]
+                vt = vt_base[span]
+                rail = kern.MID[:, :m]
+                rail.fill(0.0)
+                f = kern.eval_f(rail, vt, m)
+                np.greater_equal(f, 0.0, out=pinned_lo[span])
+                rail.fill(vdd_f)
+                f = kern.eval_f(rail, vt, m)
+                np.less_equal(f, 0.0, out=pinned_hi[span])
+                np.less(f, 0.0, out=forced_up[span])
+
+            # Monotonicity forces the bisection direction of pinned
+            # lanes: rows where every lane is pinned never need another
+            # model evaluation — only the rail overrides below.
+            lane_det = pinned_lo | forced_up
+            row_det = lane_det.all(axis=0)
+            compacted = bool(row_det.any())
+            if compacted:
+                idx = np.nonzero(~row_det)[0]
+                vt_act = np.ascontiguousarray(vt_base[:, idx])
+                n_act = idx.size
+                has_up = np.logical_and(forced_up, row_det).any(axis=1)
+                has_down = np.logical_and(pinned_lo, row_det).any(axis=1)
+            else:
+                vt_act = vt_base
+                n_act = n
+                has_up = np.zeros(e_count, dtype=bool)
+                has_down = has_up
+
+            v_act = np.empty((e_count, max(n_act, 1)))[:, :n_act]
+            k_stop = _fixed_stop_iteration(vdd_f)
+            if k_stop is not None:
+                # Det-lane width recurrences stop at the same provable
+                # iteration, so they need no bookkeeping here.
+                _solve_fixed(kern, vt_act, n_act, k_stop, v_act)
+            else:
+                _solve_dynamic(
+                    table, vdd_f, vt_act, n_act, has_up, has_down, v_act
+                )
+            if compacted:
+                v = np.zeros((e_count, n))
+                v[:, idx] = v_act
+            else:
+                v = v_act
+            # Rail overrides, in the reference order (hi, then lo).
+            np.copyto(v, vdd_f, where=pinned_hi)
+            np.copyto(v, 0.0, where=pinned_lo)
+
+        # Margins from the solved nodes (same expressions, same order).
+        if cell.kind == "6t":
+            bump, node, trip_r, trip_l = v[0], v[1], v[2], v[3]
+            current = np.asarray(
+                cell.pull_down_right.current(
+                    vdd_f, bump, dvt=dvt_arr[:, PD_R]
+                ),
+                dtype=float,
+            )
+        else:
+            assert isinstance(cell, EightTCell)
+            node, trip_r = v[1], v[2]
+            current = np.asarray(
+                cell.read_down.current(vdd_f, v[0], dvt=dvt_arr[:, RPD]),
+                dtype=float,
+            )
+        charge = bitline.for_cell(cell).capacitance * cell.technology.sense_margin
+        with np.errstate(divide="ignore"):
+            delay = np.where(
+                current > 0.0, charge / np.maximum(current, 1e-30), np.inf
+            )
+            read_access = np.log(read_cycle) - np.log(delay)
+        write = trip_r - node
+        read_disturb = (trip_l - bump) if cell.kind == "6t" else None
+        return FailureMargins(
+            read_access=read_access, write=write, read_disturb=read_disturb
+        )
+
+
+FUSED = register_backend(FusedKernel())

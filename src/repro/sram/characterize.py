@@ -197,6 +197,7 @@ def characterize_cell(
     shards: Optional[int] = None,
     max_shard_samples: Optional[int] = None,
     block_samples: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> CellCharacterization:
     """Characterize a cell over a voltage grid (cached, parallelizable).
 
@@ -215,6 +216,9 @@ def characterize_cell(
     population's statistical definition (it selects which child seed
     each sample draws from), so tables with different block sizes are
     different, equally valid populations and are cached separately.
+    ``backend`` pins the margin-kernel backend (see
+    :mod:`repro.kernels`) — another execution knob: backends are
+    bit-identical and the default (canonical) ones share cache entries.
     """
     tech = technology or ptm22()
     the_cell = cell if cell is not None else make_cell(cell_kind, tech)
@@ -234,7 +238,10 @@ def characterize_cell(
         seed=resolve_seed(seed), read_cycle=budget,
         block_samples=(block_samples if block_samples is not None
                        else DEFAULT_BLOCK_SAMPLES),
+        backend=backend,
     ).resolved()
+
+    from repro.kernels import payload_fields
 
     table_payload = {
         "technology": asdict(tech),
@@ -248,6 +255,9 @@ def characterize_cell(
         "read_cycle": budget,
         "rev": 5,  # rev 5: block-decomposed sample streams (sharding)
     }
+    # Empty for canonical (bit-identical) margin backends — see
+    # MonteCarloAnalyzer.cache_payload.
+    table_payload.update(payload_fields(backend))
     hit = store.get("cell", table_payload)
     if hit is not None:
         return CellCharacterization.from_payload(hit)

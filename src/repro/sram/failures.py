@@ -29,13 +29,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 import numpy as np
 
 from repro.sram.bitcell import BitcellBase
-from repro.sram.read_path import BitlineModel, nominal_read_cycle, read_delay
-from repro.sram.write_margin import write_node_voltage
+from repro.sram.read_path import BitlineModel, nominal_read_cycle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (runtime import is lazy)
+    from repro.kernels.base import MarginKernel
 
 
 class FailureType(enum.Enum):
@@ -99,8 +101,9 @@ def compute_failure_margins(
     cell: BitcellBase,
     vdd: float,
     dvt: np.ndarray,
-    bitline: BitlineModel = None,
-    read_cycle: float = None,
+    bitline: Optional[BitlineModel] = None,
+    read_cycle: Optional[float] = None,
+    backend: Union[None, str, "MarginKernel"] = None,
 ) -> FailureMargins:
     """Evaluate all applicable failure margins for a ΔVT sample matrix.
 
@@ -118,26 +121,18 @@ def compute_failure_margins(
     read_cycle:
         Read time budget; defaults to the guard-banded nominal-voltage
         delay of this cell (see :func:`~repro.sram.read_path.nominal_read_cycle`).
+    backend:
+        Margin-kernel backend (a registered name, a
+        :class:`~repro.kernels.MarginKernel` instance, or ``None`` for
+        the session default — see :mod:`repro.kernels`).  Registered
+        backends are bit-identical, so this is purely an execution knob.
     """
+    # Lazy import: repro.kernels builds on this module's FailureMargins.
+    from repro.kernels.base import resolve_backend
+
     bl = bitline or BitlineModel(cell.technology)
     t_read = nominal_read_cycle(cell, bitline=bl) if read_cycle is None else read_cycle
-
-    delay = np.asarray(read_delay(cell, vdd, dvt=dvt, bitline=bl), dtype=float)
-    with np.errstate(divide="ignore"):
-        read_access = np.log(t_read) - np.log(delay)
-
-    node = np.asarray(write_node_voltage(cell, vdd, dvt=dvt), dtype=float)
-    trip_r = np.asarray(cell.trip_voltage_right(vdd, dvt=dvt), dtype=float)
-    write = trip_r - node
-
-    if cell.has_read_disturb:
-        bump = np.asarray(cell.read_bump_voltage(vdd, dvt=dvt), dtype=float)
-        trip_l = np.asarray(cell.trip_voltage_left(vdd, dvt=dvt), dtype=float)
-        read_disturb = trip_l - bump
-    else:
-        read_disturb = None
-
-    return FailureMargins(read_access=read_access, write=write, read_disturb=read_disturb)
+    return resolve_backend(backend).margins(cell, float(vdd), dvt, bl, t_read)
 
 
 def margin_statistics(margins: FailureMargins) -> Dict[str, Dict[str, float]]:

@@ -85,6 +85,7 @@ class ImportanceSampler:
         cell: BitcellBase,
         bitline: Optional[BitlineModel] = None,
         read_cycle: Optional[float] = None,
+        backend: Optional[str] = None,
     ):
         self.cell = cell
         self.bitline = bitline or BitlineModel(cell.technology).for_cell(cell)
@@ -92,12 +93,17 @@ class ImportanceSampler:
             read_cycle if read_cycle is not None
             else nominal_read_cycle(cell, bitline=self.bitline)
         )
+        #: Margin-kernel backend (``None`` = session default; see
+        #: :mod:`repro.kernels`).  Pure execution knob: backends are
+        #: bit-identical, estimates cannot change.
+        self.backend = backend
         self._sigmas = cell.variation_model().sigmas
 
     # ------------------------------------------------------------------
     def _margin(self, vdd: float, dvt: np.ndarray, ftype: FailureType) -> np.ndarray:
         margins = compute_failure_margins(
-            self.cell, vdd, dvt, bitline=self.bitline, read_cycle=self.read_cycle
+            self.cell, vdd, dvt, bitline=self.bitline,
+            read_cycle=self.read_cycle, backend=self.backend,
         )
         m = margins.margin(ftype)
         if m is None:
@@ -212,7 +218,9 @@ class ImportanceSampler:
         seed: int, max_shift_sigma: float,
     ) -> Dict[str, Any]:
         """Cache address of one importance-sampled estimate."""
-        return {
+        from repro.kernels import payload_fields
+
+        payload = {
             "technology": asdict(self.cell.technology),
             "kind": self.cell.kind,
             "sizing": asdict(self.cell.sizing),
@@ -228,6 +236,10 @@ class ImportanceSampler:
             "vdd": float(vdd),
             "rev": 1,  # bump to invalidate cached IS results
         }
+        # Empty for canonical (bit-identical) backends — see
+        # MonteCarloAnalyzer.cache_payload.
+        payload.update(payload_fields(self.backend))
+        return payload
 
     def estimate_sweep(
         self,

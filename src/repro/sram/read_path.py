@@ -16,8 +16,8 @@ SRAM sub-array".  We model exactly that:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -47,7 +47,14 @@ class BitlineModel:
 
     technology: Technology
     rows: int = DEFAULT_ROWS
-    port_width: float = None
+    port_width: Optional[float] = None
+    #: Per-port-width memo of :meth:`for_cell` results.  The margin hot
+    #: path resolves the cell-specific bitline once per call; caching
+    #: the (immutable) derived instance stops it reallocating one per
+    #: block.  Excluded from equality/repr; never serialized.
+    _per_cell: Dict[Optional[float], "BitlineModel"] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.rows <= 0:
@@ -63,11 +70,20 @@ class BitlineModel:
         per_cell = tech.bitline_wire_cap_per_cell + tech.junction_cap_per_width * width
         return self.rows * per_cell
 
-    def for_cell(self, cell) -> "BitlineModel":
-        """The same column depth with the port width of ``cell``'s read port."""
+    def for_cell(self, cell: BitcellBase) -> "BitlineModel":
+        """The same column depth with the port width of ``cell``'s read port.
+
+        Memoized per port width: repeated margin evaluations against the
+        same column reuse one derived instance instead of constructing
+        (and validating) a fresh dataclass per call.
+        """
         sizing = cell.sizing
         width = sizing.read_pass if sizing.is_8t else sizing.pass_gate
-        return BitlineModel(self.technology, rows=self.rows, port_width=width)
+        cached = self._per_cell.get(width)
+        if cached is None:
+            cached = BitlineModel(self.technology, rows=self.rows, port_width=width)
+            self._per_cell[width] = cached
+        return cached
 
 
 def read_current(cell: BitcellBase, vdd: float, dvt: ArrayLike = 0.0) -> np.ndarray:
@@ -83,7 +99,7 @@ def read_delay(
     cell: BitcellBase,
     vdd: float,
     dvt: ArrayLike = 0.0,
-    bitline: BitlineModel = None,
+    bitline: Optional[BitlineModel] = None,
 ) -> np.ndarray:
     """Time to develop the sense margin on the bitline (seconds).
 
@@ -99,7 +115,9 @@ def read_delay(
 
 
 def nominal_read_cycle(
-    cell: BitcellBase, bitline: BitlineModel = None, vdd: float = None
+    cell: BitcellBase,
+    bitline: Optional[BitlineModel] = None,
+    vdd: Optional[float] = None,
 ) -> float:
     """The read-cycle budget ``T_read`` for failure analysis.
 

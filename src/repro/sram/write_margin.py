@@ -22,7 +22,7 @@ margin.  The paper's 6T cell anchor is WM ~ 250 mV at 0.95 V.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -41,7 +41,7 @@ def write_node_voltage(
     vdd: float,
     dvt: ArrayLike = 0.0,
     v_wordline: Union[float, np.ndarray, None] = None,
-) -> np.ndarray:
+) -> ArrayLike:
     """Static voltage of the written ('1' -> '0') node during a write.
 
     Solves the PU_L (pulling up) versus PG_L (pulling down into the
@@ -70,7 +70,7 @@ def write_succeeds(
     cell: BitcellBase,
     vdd: float,
     dvt: ArrayLike = 0.0,
-    v_wordline: Union[float, None] = None,
+    v_wordline: Optional[float] = None,
 ) -> np.ndarray:
     """Boolean (vectorized) static write-success indicator.
 
@@ -87,7 +87,7 @@ def write_margin(
     vdd: float,
     dvt: ArrayLike = 0.0,
     n_iterations: int = 32,
-) -> np.ndarray:
+) -> ArrayLike:
     """Wordline-underdrive write margin ``WM = VDD - V_WL*`` (vectorized).
 
     ``V_WL*`` is found by bisection on the wordline voltage: the flip
@@ -95,22 +95,42 @@ def write_margin(
     wordline drive (a stronger wordline can only pull the node lower).
     Returns 0 where the cell cannot be written even at full drive —
     i.e. the sample is a write failure.
+
+    All wordline-independent work — the opposing trip voltage, the
+    device objects, the ΔVT columns and the node-solver batch shape —
+    is hoisted out of the bisection, so each of the ``n_iterations``
+    probes costs exactly one inner node solve.
     """
     dvt_arr = np.asarray(dvt, dtype=float)
     shape = dvt_arr.shape[:-1] if dvt_arr.ndim > 0 else ()
 
     trip = np.broadcast_to(np.asarray(cell.trip_voltage_right(vdd, dvt=dvt)), shape).copy()
 
-    full = write_node_voltage(cell, vdd, dvt=dvt, v_wordline=vdd)
-    full = np.broadcast_to(np.asarray(full), shape)
+    # Loop invariants of the wordline probes (write_node_voltage would
+    # otherwise rebuild the devices and re-slice ΔVT on every call).
+    pu = cell.pull_up_left
+    pg = cell.pass_gate_left
+    dvt_u = _col(dvt, PU_L)
+    dvt_g = _col(dvt, PG_L)
+    node_shape = np.broadcast_shapes(np.shape(dvt_u), np.shape(dvt_g), shape)
+
+    def node_at(v_wordline: np.ndarray) -> np.ndarray:
+        def node_eq(v: np.ndarray) -> np.ndarray:
+            i_down = pg.current(v_wordline, v, dvt=dvt_g)
+            i_up = pu.current(vdd, vdd - v, dvt=dvt_u)
+            return i_down - i_up
+
+        solved = solve_node_voltage(node_eq, 0.0, vdd, shape=node_shape)
+        return np.broadcast_to(np.asarray(solved), shape)
+
+    full = node_at(np.broadcast_to(np.asarray(float(vdd)), node_shape))
     never_flips = full >= trip
 
     lo = np.zeros(shape)
     hi = np.full(shape, float(vdd))
     for _ in range(n_iterations):
         mid = 0.5 * (lo + hi)
-        node = write_node_voltage(cell, vdd, dvt=dvt, v_wordline=mid)
-        node = np.broadcast_to(np.asarray(node), shape)
+        node = node_at(np.broadcast_to(mid, node_shape))
         flips = node < trip
         hi = np.where(flips, mid, hi)
         lo = np.where(flips, lo, mid)

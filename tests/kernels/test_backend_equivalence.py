@@ -1,0 +1,218 @@
+"""The margin-kernel contract: every backend is bit-identical.
+
+The ``fused`` backend replays the reference bisection trajectories with
+restructured arithmetic, so its guarantee is *exact* equality — not
+closeness — for every margin of every sample.  These tests lock that
+elementwise across cell kinds, supply voltages, ΔVT batch shapes, the
+disturb-free 8T ``None`` margin, rail-pinned degenerate brackets, and
+the dynamic-fallback band where the bisection stop iteration cannot be
+predicted from ``vdd``.  Backend selection (argument / ``set_backend``
+/ ``REPRO_BACKEND``) is covered at the bottom.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.devices import ptm22
+from repro.errors import ConfigurationError
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    FusedKernel,
+    ReferenceKernel,
+    available_backends,
+    get_backend,
+    payload_fields,
+    resolve_backend,
+    set_backend,
+)
+from repro.kernels.fused import _CHUNK, _fixed_stop_iteration
+from repro.sram.bitcell import make_cell
+from repro.sram.failures import compute_failure_margins
+
+TECH = ptm22()
+CELLS = {"6t": make_cell("6t", TECH), "8t": make_cell("8t", TECH)}
+
+#: A supply voltage inside the tiny band where the fused backend cannot
+#: prove the reference solver's stop iteration and must fall back to
+#: the synchronized width-measuring loop: 2**29 * 1e-9 V exactly.
+BAND_VDD = (2.0 ** 29) * 1e-9
+
+MARGIN_NAMES = ("read_access", "write", "read_disturb")
+
+
+def assert_margins_identical(kind, vdd, dvt):
+    cell = CELLS[kind]
+    ref = compute_failure_margins(cell, vdd, dvt, backend="reference")
+    fused = compute_failure_margins(cell, vdd, dvt, backend="fused")
+    for name in MARGIN_NAMES:
+        a, b = getattr(ref, name), getattr(fused, name)
+        if a is None:
+            assert b is None, f"{name}: fused invented a margin"
+            continue
+        assert b is not None, f"{name}: fused dropped a margin"
+        a, b = np.asarray(a), np.asarray(b)
+        assert a.shape == b.shape, f"{name}: shape mismatch"
+        assert np.array_equal(a, b, equal_nan=True), (
+            f"{kind} vdd={vdd} {name}: margins differ "
+            f"(max |d| = {np.nanmax(np.abs(a - b))})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Deterministic sweeps
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["6t", "8t"])
+@pytest.mark.parametrize("vdd", [0.45, 0.60, 0.75, 0.95])
+@pytest.mark.parametrize("n,seed", [(1, 3), (7, 5), (257, 7), (2048, 11)])
+def test_sampled_blocks_bit_identical(kind, vdd, n, seed):
+    dvt = CELLS[kind].variation_model().sample(n, seed=seed)
+    assert_margins_identical(kind, vdd, dvt)
+
+
+@pytest.mark.parametrize("kind", ["6t", "8t"])
+def test_multi_chunk_blocks_bit_identical(kind):
+    """Blocks wider than one solver chunk split/merge without a trace."""
+    n = _CHUNK + 173  # force a partial second chunk
+    dvt = CELLS[kind].variation_model().sample(n, seed=23)
+    assert_margins_identical(kind, 0.70, dvt)
+
+
+@pytest.mark.parametrize("kind", ["6t", "8t"])
+@pytest.mark.parametrize("shift", [0.9, -0.9])
+def test_pinned_rail_degenerate_brackets(kind, shift):
+    """Extreme uniform ΔVT pins node equations at a supply rail; the
+    fused backend must reproduce the reference solver's rail overrides
+    (and its converged-lane skipping must not disturb them)."""
+    n_dev = len(CELLS[kind].devices)
+    dvt = np.full((37, n_dev), shift)
+    assert_margins_identical(kind, 0.40, dvt)
+
+
+def test_mixed_pinned_and_active_rows():
+    """Pinned rows are compacted out of the evaluation; the remaining
+    rows' trajectories (and the pinned lanes' width recurrences in the
+    fallback path) must still match the reference exactly."""
+    cell = CELLS["6t"]
+    dvt = cell.variation_model().sample(600, seed=1)
+    dvt[::7] = 0.95
+    dvt[3::11] = -0.95
+    assert_margins_identical("6t", 0.45, dvt)
+    # Same stress inside the dynamic-fallback band.
+    assert_margins_identical("6t", BAND_VDD, dvt)
+
+
+def test_dynamic_fallback_band():
+    """A vdd whose bracket widths graze the tolerance exercises the
+    synchronized width-measuring fallback."""
+    assert _fixed_stop_iteration(BAND_VDD) is None
+    for kind in ("6t", "8t"):
+        dvt = CELLS[kind].variation_model().sample(300, seed=9)
+        assert_margins_identical(kind, BAND_VDD, dvt)
+
+
+def test_eight_t_has_no_disturb_margin():
+    dvt = CELLS["8t"].variation_model().sample(64, seed=2)
+    for backend in ("reference", "fused"):
+        margins = compute_failure_margins(
+            CELLS["8t"], 0.7, dvt, backend=backend
+        )
+        assert margins.read_disturb is None
+
+
+@pytest.mark.parametrize("dvt", [0.0, np.zeros(6), np.linspace(-0.05, 0.05, 6)])
+def test_scalar_and_vector_probes_delegate(dvt):
+    """Non-batch ΔVT shapes take the reference path inside the fused
+    backend — results (and scalar-ness) are identical by construction."""
+    cell = CELLS["6t"]
+    ref = compute_failure_margins(cell, 0.8, dvt, backend="reference")
+    fused = compute_failure_margins(cell, 0.8, dvt, backend="fused")
+    for name in MARGIN_NAMES:
+        a, b = getattr(ref, name), getattr(fused, name)
+        assert np.array_equal(np.asarray(a), np.asarray(b), equal_nan=True)
+
+
+# ----------------------------------------------------------------------
+# Property suite
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    kind=st.sampled_from(["6t", "8t"]),
+    vdd=st.floats(min_value=0.25, max_value=1.15),
+    data=st.data(),
+)
+def test_property_fused_equals_reference(kind, vdd, data):
+    n_dev = len(CELLS[kind].devices)
+    n = data.draw(st.integers(min_value=1, max_value=48))
+    dvt = data.draw(
+        arrays(
+            dtype=np.float64,
+            shape=(n, n_dev),
+            # +-0.7 V is ~20 Pelgrom sigma: covers healthy cells, deep
+            # tails and rail-pinned brackets alike.
+            elements=st.floats(min_value=-0.7, max_value=0.7),
+        )
+    )
+    assert_margins_identical(kind, vdd, dvt)
+
+
+# ----------------------------------------------------------------------
+# Backend selection and registry
+# ----------------------------------------------------------------------
+@pytest.fixture
+def clean_selection(monkeypatch):
+    """Isolate the process-wide override and environment selection."""
+    import repro.kernels.base as base
+
+    monkeypatch.delenv(base.ENV_VAR, raising=False)
+    monkeypatch.setattr(base, "_OVERRIDE", None)
+    return base
+
+
+def test_registry_lists_both_backends():
+    names = available_backends()
+    assert "reference" in names and "fused" in names
+
+
+def test_default_backend_is_fused(clean_selection):
+    assert DEFAULT_BACKEND == "fused"
+    assert get_backend().name == "fused"
+
+
+def test_set_backend_overrides_and_clears(clean_selection):
+    assert set_backend("reference").name == "reference"
+    assert get_backend().name == "reference"
+    assert set_backend(None).name == DEFAULT_BACKEND
+
+
+def test_env_var_selects_backend(clean_selection, monkeypatch):
+    monkeypatch.setenv(clean_selection.ENV_VAR, "reference")
+    assert get_backend().name == "reference"
+    # An explicit override outranks the environment.
+    set_backend("fused")
+    assert get_backend().name == "fused"
+
+
+def test_resolve_precedence_and_instances(clean_selection):
+    kernel = ReferenceKernel()
+    assert resolve_backend(kernel) is kernel
+    assert resolve_backend("fused").name == "fused"
+    assert resolve_backend(None).name == DEFAULT_BACKEND
+
+
+def test_unknown_backend_rejected(clean_selection, monkeypatch):
+    with pytest.raises(ConfigurationError, match="unknown margin-kernel"):
+        resolve_backend("no-such-backend")
+    with pytest.raises(ConfigurationError):
+        set_backend("no-such-backend")
+    monkeypatch.setenv(clean_selection.ENV_VAR, "no-such-backend")
+    with pytest.raises(ConfigurationError):
+        get_backend()
+
+
+def test_canonical_backends_add_no_payload_fields():
+    assert payload_fields("reference") == {}
+    assert payload_fields("fused") == {}
+    assert ReferenceKernel.rev == 0 and FusedKernel.rev == 0
