@@ -67,6 +67,59 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "changes speed, never a number")
 
 
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    """Tiered-cache flags shared by serve / worker / dispatch.
+
+    Any of them upgrades the command's cache to the standard tiered
+    composition (memory LRU → directory → remote object store; see
+    ``docs/caching.md``); with none given, commands keep their
+    historical single-tier stores.
+    """
+    parser.add_argument("--store-url", default=None, metavar="URL",
+                        help="remote object-store endpoint "
+                             "(http(s)://host:port/prefix) used as the "
+                             "shared third cache tier — reads fall through "
+                             "to it, writes reach it via fail-open "
+                             "write-behind")
+    parser.add_argument("--lru-entries", type=int, default=None, metavar="N",
+                        help="in-process hot-tier bound in entries "
+                             "(0 disables the memory tier; default 1024 "
+                             "once tiering is active)")
+    parser.add_argument("--lru-bytes", type=int, default=None, metavar="B",
+                        help="in-process hot-tier bound in value bytes "
+                             "(default 64 MiB)")
+    parser.add_argument("--ttl", type=float, default=None, metavar="S",
+                        help="treat local cache entries older than S "
+                             "seconds as misses (expired files are reaped "
+                             "by 'repro-sram cache compact')")
+
+
+def _tiering_requested(args) -> bool:
+    return bool(getattr(args, "store_url", None)) or any(
+        getattr(args, name, None) is not None
+        for name in ("lru_entries", "lru_bytes", "ttl")
+    )
+
+
+def _build_store(args, cache_dir=None):
+    """The ``--store-url``/``--lru-*``/``--ttl`` tiered composition."""
+    from repro.runtime.tiering import (
+        DEFAULT_LRU_BYTES,
+        DEFAULT_LRU_ENTRIES,
+        make_tiered_store,
+    )
+
+    return make_tiered_store(
+        cache_dir=cache_dir,
+        store_url=args.store_url,
+        lru_entries=(DEFAULT_LRU_ENTRIES if args.lru_entries is None
+                     else args.lru_entries),
+        lru_bytes=(DEFAULT_LRU_BYTES if args.lru_bytes is None
+                   else args.lru_bytes),
+        ttl=args.ttl,
+    )
+
+
 def _build_sim(args) -> CircuitToSystemSimulator:
     model = train_benchmark_ann(profile=args.profile,
                                 use_cache=not args.no_cache)
@@ -175,20 +228,31 @@ def cmd_serve(args) -> int:
         print(format_stats(request_stats(args.host, args.port)))
         return 0
     sim = _build_sim(args)
-    evaluator = BatchingEvaluator(
-        sim,
+    if args.no_cache:
         # None, not a disabled cache: submit() skips the per-request
         # store round trip entirely when there is no cache.
-        cache=None if args.no_cache else ResultCache(),
+        cache = None
+    elif _tiering_requested(args):
+        cache = _build_store(args)
+    else:
+        cache = ResultCache()
+    evaluator = BatchingEvaluator(
+        sim,
+        cache=cache,
         batch_window=args.batch_window,
         max_batch=args.max_batch,
     )
-    if args.stdin:
-        code = run_stdio(evaluator)
-        print(evaluator.stats.summary(), file=sys.stderr)
-        return code
-    return run_tcp_forever(evaluator, args.host, args.port,
-                           max_inflight=args.max_inflight)
+    try:
+        if args.stdin:
+            code = run_stdio(evaluator)
+            print(evaluator.stats.summary(), file=sys.stderr)
+            return code
+        return run_tcp_forever(evaluator, args.host, args.port,
+                               max_inflight=args.max_inflight)
+    finally:
+        close = getattr(cache, "close", None)
+        if close is not None:
+            close()  # drain write-behind before the process exits
 
 
 def _parse_endpoint(value: str, flag: str) -> tuple:
@@ -215,6 +279,10 @@ def cmd_worker(args) -> int:
         cache_dir=args.cache_dir,
         name=args.name,
         max_jobs=args.max_jobs,
+        store_url=args.store_url,
+        lru_entries=args.lru_entries,
+        lru_bytes=args.lru_bytes,
+        ttl=args.ttl,
     )
 
 
@@ -239,8 +307,12 @@ def cmd_dispatch(args) -> int:
         backend=args.backend,
     )
     vdds = tuple(args.vdd) if args.vdd else DEFAULT_VDD_GRID
+    if _tiering_requested(args):
+        store = _build_store(args, cache_dir=args.cache_dir)
+    else:
+        store = DirectoryStore(args.cache_dir)
     with ShardDispatcher(
-        store=DirectoryStore(args.cache_dir),
+        store=store,
         max_retries=args.max_retries,
     ) as dispatcher:
         host, port = dispatcher.start(listen_host, listen_port)
@@ -270,18 +342,46 @@ def cmd_dispatch(args) -> int:
             ["VDD", "P(read acc)", "P(write)", "P(disturb)", "P(cell)"], rows,
         ))
         print(dispatcher.stats.summary())
+    close = getattr(store, "close", None)
+    if close is not None:
+        close()  # drain write-behind so the remote tier sees every result
     return 0
 
 
 def cmd_cache(args) -> int:
+    if args.action == "stats" and args.store_url:
+        # Remote-store mode: ask the object store for its own counters
+        # (object/byte totals, get/put traffic) instead of walking the
+        # local directory.
+        from repro.distributed.objectstore import ObjectStore
+        from repro.serving.server import format_stats
+
+        print(f"object store : {args.store_url}")
+        print(format_stats(ObjectStore(args.store_url).remote_stats()))
+        return 0
     cache = ResultCache()
     if args.action == "stats":
         print(cache.stats().summary())
+    elif args.action == "compact":
+        result = cache.compact(
+            namespace=args.namespace,
+            max_age=args.max_age,
+            max_bytes=args.max_bytes,
+        )
+        scope = f"namespace {args.namespace!r}" if args.namespace else "all namespaces"
+        print(f"compacted {cache.cache_dir} ({scope}): {result.summary()}")
     else:  # clear
         removed = cache.clear(namespace=args.namespace)
         scope = f"namespace {args.namespace!r}" if args.namespace else "all namespaces"
         print(f"removed {removed} cache entries ({scope}) from {cache.cache_dir}")
     return 0
+
+
+def cmd_objectstore(args) -> int:
+    from repro.distributed.objectstore import serve_object_store
+
+    host, port = _parse_endpoint(args.listen, "--listen")
+    return serve_object_store(host, port)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -346,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="probe a RUNNING server at --host/--port for its "
                         "serving counters and exit (starts nothing)")
     _add_common(p)
+    _add_store_options(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -369,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "jobs with (reference | fused; default: "
                         "REPRO_BACKEND, else fused; bit-identical either "
                         "way, so mixed fleets stay exact)")
+    _add_store_options(p)
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
@@ -412,14 +514,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="probe a RUNNING dispatcher at --connect for its "
                         "counters and exit (starts nothing)")
+    _add_store_options(p)
     p.set_defaults(func=cmd_dispatch)
 
-    p = sub.add_parser("cache", help="inspect or clear the shared result cache")
-    p.add_argument("action", choices=["stats", "clear"])
+    p = sub.add_parser(
+        "cache",
+        help="inspect, compact or clear the shared result cache",
+    )
+    p.add_argument("action", choices=["stats", "compact", "clear"])
     p.add_argument("--namespace", default=None,
-                   help="restrict 'clear' to one namespace "
+                   help="restrict 'compact'/'clear' to one namespace "
                         "(e.g. mc, mcshard, cell, cellpoint, is, ann, serve)")
+    p.add_argument("--max-age", type=float, default=None, metavar="S",
+                   help="with 'compact': delete entries at least S seconds "
+                        "old (the TTL-expiry rule: age >= S)")
+    p.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                   help="with 'compact': delete oldest entries first until "
+                        "at most B bytes remain")
+    p.add_argument("--store-url", default=None, metavar="URL",
+                   help="with 'stats': probe a remote object store's own "
+                        "counters instead of the local directory")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "objectstore",
+        help="run the in-process object store (the fake S3-style backend "
+             "tests and CI drills point --store-url at)",
+    )
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="endpoint to serve objects on (default 127.0.0.1:0 "
+                        "= ephemeral; the bound URL is printed on startup)")
+    p.set_defaults(func=cmd_objectstore)
 
     return parser
 

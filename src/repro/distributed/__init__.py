@@ -17,6 +17,13 @@ The pieces:
   :class:`~repro.distributed.store.DirectoryStore` over the
   content-addressed result cache) that makes recomputation idempotent
   and lets local and distributed runs resume from each other's work;
+* :mod:`~repro.distributed.objectstore` — the remote tier: an
+  :class:`~repro.distributed.objectstore.ObjectStore` speaking a
+  minimal S3-style HTTP protocol, plus the in-process
+  :class:`~repro.distributed.objectstore.FakeObjectStoreServer` the
+  tests and the CI degradation drill run against (compose the tiers
+  with :func:`~repro.runtime.tiering.make_tiered_store`;
+  ``docs/caching.md`` has the map);
 * :mod:`~repro.distributed.jobs` — wire-format shard jobs plus the
   worker-side execution registry (``margin_tally`` ships built in);
 * :mod:`~repro.distributed.protocol` — the message vocabulary
@@ -43,6 +50,12 @@ from repro.distributed.jobs import (
     margin_tally_jobs,
     register_job_kind,
 )
+from repro.distributed.objectstore import (
+    FakeObjectStoreServer,
+    ObjectStore,
+    ObjectStoreError,
+    serve_object_store,
+)
 from repro.distributed.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.distributed.store import CacheStore, DirectoryStore
 from repro.distributed.worker import Worker, run_worker
@@ -52,6 +65,9 @@ __all__ = [
     "DirectoryStore",
     "DispatchError",
     "DispatcherStats",
+    "FakeObjectStoreServer",
+    "ObjectStore",
+    "ObjectStoreError",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ShardDispatcher",
@@ -62,4 +78,5 @@ __all__ = [
     "margin_tally_jobs",
     "register_job_kind",
     "run_worker",
+    "serve_object_store",
 ]

@@ -5,8 +5,11 @@ register and *pull* work (a worker announces ``ready``, the dispatcher
 assigns at most one job per ready worker), so a slow worker never
 accumulates a private backlog.  Results stream back inline and are
 merged as they arrive; every result is also persisted to the shared
-:class:`~repro.distributed.store.CacheStore` by the worker that
-computed it.
+:class:`~repro.distributed.store.CacheStore` twice over — by the worker
+that computed it (to the worker's store) and by the dispatcher (to its
+own store, off-loop), which is what warms a remote object store only
+the dispatcher is configured to reach.  Double writes are harmless:
+one content address, identical bytes.
 
 Failure model — everything reduces to *recompute is free, results are
 exact*:
@@ -539,8 +542,25 @@ class ShardDispatcher:
             self.stats.worker_cache_hits += 1
         else:
             self.stats.computed += 1
+            if self.store is not None:
+                # Persist freshly computed results to the dispatcher's
+                # own store too: a worker's store may be a private
+                # directory that never reaches the shared remote tier.
+                self._spawn(self._persist(state.job, value))
         if self._run is not None:
             self._run.accept(state.position, value)
+
+    async def _persist(self, job: ShardJob, value: Any) -> None:
+        """Store one computed result off-loop (failures degrade caching
+        only — the value already travelled inline)."""
+        assert self.store is not None
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                None, self.store.put, job.namespace, job.payload, value
+            )
+        except Exception:
+            pass
 
     async def _monitor(self) -> None:
         """Heartbeat watchdog: retire workers that went silent."""
@@ -593,9 +613,14 @@ class ShardDispatcher:
                     worker.last_seen = loop.time()
 
                 if kind == "stats":
+                    stats_doc = self.stats.to_dict()
+                    if self.store is not None:
+                        # Per-tier hit/miss/byte/latency/error counters
+                        # (see docs/caching.md) ride along with the
+                        # scheduling counters.
+                        stats_doc["store"] = self.store.stats_payload()
                     await reply({
-                        "type": "stats", "ok": True,
-                        "stats": self.stats.to_dict(),
+                        "type": "stats", "ok": True, "stats": stats_doc,
                     })
                 elif kind == "register":
                     if message.get("protocol") != PROTOCOL_VERSION:

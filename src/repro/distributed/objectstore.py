@@ -1,0 +1,361 @@
+"""Remote object-store tier: a minimal S3-style HTTP backend.
+
+:class:`ObjectStore` is the third cache tier
+(``docs/caching.md``): a :class:`~repro.runtime.tiering.CacheStore`
+over any HTTP server that speaks the three-verb subset S3 and friends
+share —
+
+* ``PUT  {base}/{namespace}/{key}`` with a JSON body stores an object
+  (last writer wins; every writer of one key writes identical bytes,
+  so ordering never matters);
+* ``GET  {base}/{namespace}/{key}`` returns the body or 404;
+* ``GET  {base}?stats`` returns the server's own counters (an
+  extension the bundled fake implements; real stores simply 404 it).
+
+Keys are the library's content addresses
+(:func:`~repro.runtime.cache.content_key`), so the remote namespace
+mirrors the local cache directory one-to-one and a value computed on
+any machine is addressable from every other.
+
+The degradation contract is strict fail-open: a transport failure on
+``get`` is a *miss* (counted in ``tier.errors``), and ``put`` raises
+:class:`ObjectStoreError` so the caller — normally the
+:class:`~repro.runtime.tiering.TieredStore` write-behind flusher — can
+retry with backoff and eventually drop.  No store failure ever
+propagates into a computation.
+
+:class:`FakeObjectStoreServer` is the in-process stand-in used by the
+test suite, the CI degradation drill and the ``repro-sram objectstore``
+command: a :class:`~http.server.ThreadingHTTPServer` holding objects in
+a dict, byte-faithful to the protocol above (including 404s, ``?stats``
+and optional fault injection).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.runtime.cache import CACHE_VERSION, _canonical, content_key
+from repro.runtime.tiering import CacheStore
+
+__all__ = [
+    "FakeObjectStoreServer",
+    "ObjectStore",
+    "ObjectStoreError",
+    "serve_object_store",
+]
+
+#: Default socket timeout (seconds) for store requests.  Short on
+#: purpose: a slow store must degrade into a miss quickly, not stall a
+#: shard pipeline.
+DEFAULT_TIMEOUT = 5.0
+
+
+class ObjectStoreError(ReproError):
+    """A remote object-store write (or explicit probe) failed."""
+
+
+class ObjectStore(CacheStore):
+    """HTTP object-store backend (S3-style three-verb subset).
+
+    Parameters
+    ----------
+    base_url:
+        Store endpoint including any key prefix, e.g.
+        ``http://store.internal:9000/repro-cache``.  Objects live at
+        ``{base_url}/{namespace}/{key}``.
+    timeout:
+        Per-request socket timeout in seconds.
+    version:
+        Cache-schema version folded into every key (see
+        :data:`~repro.runtime.cache.CACHE_VERSION`).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = DEFAULT_TIMEOUT,
+        version: int = CACHE_VERSION,
+    ):
+        super().__init__()
+        parsed = urllib.parse.urlparse(base_url)
+        if parsed.scheme not in ("http", "https") or not parsed.netloc:
+            raise ValueError(
+                f"store URL must be http(s)://host[:port][/prefix], got {base_url!r}"
+            )
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+        self.version = int(version)
+
+    def object_url(self, namespace: str, payload: Dict[str, Any]) -> str:
+        """Full URL of the object addressed by ``payload``."""
+        key = content_key(namespace, payload, self.version)
+        return f"{self.base_url}/{urllib.parse.quote(namespace)}/{key}"
+
+    def get(self, namespace: str, payload: Dict[str, Any]) -> Optional[Any]:
+        start = time.perf_counter()
+        value: Optional[Any] = None
+        try:
+            with urllib.request.urlopen(
+                self.object_url(namespace, payload), timeout=self.timeout
+            ) as response:
+                document = json.loads(response.read().decode())
+            value = document["value"]
+        except urllib.error.HTTPError as exc:
+            if exc.code != 404:  # 404 is a clean miss, not a failure
+                self.tier.errors += 1
+        except (OSError, ValueError, TypeError, KeyError):
+            # Unreachable store or a torn/foreign document: a miss.
+            self.tier.errors += 1
+        self.tier.record_get(value, time.perf_counter() - start)
+        return value
+
+    def put(self, namespace: str, payload: Dict[str, Any], value: Any) -> None:
+        """Store ``value`` remotely; raises :class:`ObjectStoreError`.
+
+        Unlike the local tiers this *does* raise on failure — the
+        write-behind flusher owns retry/drop policy and needs to see
+        the failure to apply it.  Callers outside a
+        :class:`~repro.runtime.tiering.TieredStore` must treat the
+        error as non-fatal themselves.
+        """
+        start = time.perf_counter()
+        document = {
+            "namespace": namespace,
+            "cache_version": self.version,
+            "payload": payload,
+            "value": value,
+        }
+        body = json.dumps(
+            document, sort_keys=True, separators=(",", ":"), default=_canonical
+        ).encode()
+        request = urllib.request.Request(
+            self.object_url(namespace, payload),
+            data=body,
+            method="PUT",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                if response.status not in (200, 201, 204):
+                    raise ObjectStoreError(
+                        f"store returned HTTP {response.status} for "
+                        f"{request.full_url}"
+                    )
+        except ObjectStoreError:
+            self.tier.errors += 1
+            self.tier.record_put(value, time.perf_counter() - start)
+            raise
+        except (urllib.error.URLError, OSError) as exc:
+            self.tier.errors += 1
+            self.tier.record_put(value, time.perf_counter() - start)
+            raise ObjectStoreError(
+                f"object store {self.base_url} unreachable: {exc}"
+            ) from exc
+        self.tier.record_put(value, time.perf_counter() - start)
+
+    def describe(self) -> str:
+        return f"object:{self.base_url}"
+
+    def remote_stats(self) -> Dict[str, Any]:
+        """The server's own ``?stats`` counters (fake-store extension).
+
+        Raises :class:`ObjectStoreError` when the store is unreachable
+        or does not implement the endpoint.
+        """
+        try:
+            with urllib.request.urlopen(
+                f"{self.base_url}?stats", timeout=self.timeout
+            ) as response:
+                return dict(json.loads(response.read().decode()))
+        except (urllib.error.URLError, OSError, ValueError, TypeError) as exc:
+            raise ObjectStoreError(
+                f"object store {self.base_url} has no stats: {exc}"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObjectStore({self.base_url!r})"
+
+
+# ----------------------------------------------------------------------
+# The in-process fake (tests, CI drills, `repro-sram objectstore`)
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    """PUT/GET/DELETE on ``/{prefix}/{namespace}/{key}`` over a dict."""
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # quiet: CI output belongs to the drill, not the store
+
+    def _respond(self, code: int, body: bytes = b"") -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        parsed = urllib.parse.urlparse(self.path)
+        state = self.server.state  # type: ignore[attr-defined]
+        if parsed.query == "stats":
+            self._respond(200, json.dumps(state.stats()).encode())
+            return
+        body = state.read(parsed.path)
+        if body is None:
+            self._respond(404, b'{"error": "no such object"}')
+        else:
+            self._respond(200, body)
+
+    def do_PUT(self) -> None:
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length)
+        state = self.server.state  # type: ignore[attr-defined]
+        if not state.write(urllib.parse.urlparse(self.path).path, body):
+            self._respond(507, b'{"error": "store is read-only"}')
+            return
+        self._respond(200, b'{"ok": true}')
+
+    def do_DELETE(self) -> None:
+        state = self.server.state  # type: ignore[attr-defined]
+        if state.delete(urllib.parse.urlparse(self.path).path):
+            self._respond(200, b'{"ok": true}')
+        else:
+            self._respond(404, b'{"error": "no such object"}')
+
+
+class _State:
+    """The fake store's objects and counters, behind one lock."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self.read_only = False
+        self.gets = 0
+        self.puts = 0
+        self.deletes = 0
+        self.misses = 0
+
+    def read(self, path: str) -> Optional[bytes]:
+        with self._lock:
+            body = self._objects.get(path)
+            self.gets += 1
+            if body is None:
+                self.misses += 1
+            return body
+
+    def write(self, path: str, body: bytes) -> bool:
+        with self._lock:
+            if self.read_only:
+                return False
+            self._objects[path] = body
+            self.puts += 1
+            return True
+
+    def delete(self, path: str) -> bool:
+        with self._lock:
+            self.deletes += 1
+            return self._objects.pop(path, None) is not None
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "objects": len(self._objects),
+                "bytes": sum(len(b) for b in self._objects.values()),
+                "gets": self.gets,
+                "puts": self.puts,
+                "deletes": self.deletes,
+                "misses": self.misses,
+                "read_only": self.read_only,
+            }
+
+
+class FakeObjectStoreServer:
+    """An in-process object store speaking the protocol above.
+
+    Context-manager style for tests::
+
+        with FakeObjectStoreServer() as server:
+            store = ObjectStore(server.url)
+            ...
+
+    ``read_only = True`` makes every PUT fail with 507 — the soft
+    fault-injection knob (the hard one is killing the process, which
+    the CI drill does).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.state = _State()
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.state = self.state  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}/repro-cache"
+
+    @property
+    def read_only(self) -> bool:
+        return self.state.read_only
+
+    @read_only.setter
+    def read_only(self, value: bool) -> None:
+        self.state.read_only = bool(value)
+
+    def start(self) -> "FakeObjectStoreServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-objectstore",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "FakeObjectStoreServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def serve_object_store(host: str = "127.0.0.1", port: int = 0) -> int:
+    """Blocking entry point (the ``repro-sram objectstore`` command).
+
+    Prints the bound endpoint URL on its own line (so a parent process
+    can parse the ephemeral port) and serves until interrupted.
+    """
+    server = FakeObjectStoreServer(host=host, port=port)
+    print(f"object store listening on {server.url}", flush=True)
+    try:
+        server._server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server._server.server_close()
+    return 0

@@ -15,48 +15,28 @@ uses.  The store is what makes the system idempotent and resumable:
   store never recompute each other's shards — and why a *distributed*
   run can resume from a *single-host* run's cache, and vice versa.
 
-:class:`CacheStore` is the minimal interface: content-addressed
+:class:`~repro.runtime.tiering.CacheStore` (re-exported here for
+backwards compatibility) is the minimal interface: content-addressed
 ``get``/``put`` with atomic, last-writer-wins ``put`` semantics where
 every writer of one address produces identical bytes.
 :class:`DirectoryStore` is the filesystem backend — a plain directory
 (sharable over NFS, or rsync'd between hosts between runs) delegating
-to :class:`~repro.runtime.cache.ResultCache`.  An object-store backend
-(S3 & friends) slots in behind the same three methods.
+to :class:`~repro.runtime.cache.ResultCache`.  The object-store backend
+(:class:`~repro.distributed.objectstore.ObjectStore`) and the composite
+:class:`~repro.runtime.tiering.TieredStore` slot in behind the same
+three methods; ``docs/caching.md`` maps the tiers.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+import os
+import time
 from typing import Any, Dict, Optional
 
 from repro.runtime.cache import ResultCache
+from repro.runtime.tiering import CacheStore, TierStats
 
-
-class CacheStore(ABC):
-    """Content-addressed result store shared by dispatcher and workers.
-
-    Contract (inherited from ``docs/runtime.md``'s cache rules): the
-    payload must contain everything that determines the stored value,
-    writes must be atomic (readers never observe a torn document), and
-    concurrent writers of one address must be safe because they all
-    write identical bytes.  ``get`` returns ``None`` on any kind of
-    miss — absence, corruption, backend unavailability — never raises
-    for a recoverable condition; a store that cannot be *written*
-    degrades caching, not correctness, so callers treat ``put``
-    failures as non-fatal.
-    """
-
-    @abstractmethod
-    def get(self, namespace: str, payload: Dict[str, Any]) -> Optional[Any]:
-        """The stored value addressed by ``payload``, or ``None``."""
-
-    @abstractmethod
-    def put(self, namespace: str, payload: Dict[str, Any], value: Any) -> None:
-        """Atomically store ``value`` under the address of ``payload``."""
-
-    @abstractmethod
-    def describe(self) -> str:
-        """Human-readable location of the store (for logs and stats)."""
+__all__ = ["CacheStore", "DirectoryStore", "TierStats"]
 
 
 class DirectoryStore(CacheStore):
@@ -74,21 +54,45 @@ class DirectoryStore(CacheStore):
         :func:`~repro.runtime.cache.default_cache_dir` (the
         ``REPRO_CACHE_DIR`` environment variable, then
         ``./.repro_cache``).
+    ttl:
+        Optional freshness bound in seconds: entries that have lived
+        their full TTL (file age ``>= ttl``) read as misses.  Expired
+        files stay on disk until ``repro-sram cache compact`` reaps
+        them (see ``docs/caching.md``).
     """
 
-    def __init__(self, cache_dir: Optional[str] = None):
+    def __init__(self, cache_dir: Optional[str] = None,
+                 ttl: Optional[float] = None):
+        super().__init__()
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
         self.cache = ResultCache(cache_dir=cache_dir)
+        self.ttl = None if ttl is None else float(ttl)
 
     def get(self, namespace: str, payload: Dict[str, Any]) -> Optional[Any]:
-        return self.cache.get(namespace, payload)
+        start = time.perf_counter()
+        value = self.cache.get(namespace, payload, ttl=self.ttl)
+        if value is None and self.ttl is not None:
+            try:
+                age = time.time() - os.path.getmtime(
+                    self.cache.path(namespace, payload)
+                )
+                if age >= self.ttl:
+                    self.tier.expirations += 1
+            except OSError:
+                pass  # plain absence, not an expiry
+        self.tier.record_get(value, time.perf_counter() - start)
+        return value
 
     def put(self, namespace: str, payload: Dict[str, Any], value: Any) -> None:
+        start = time.perf_counter()
         try:
             self.cache.put(namespace, payload, value)
         except OSError:
             # A full disk or revoked mount degrades the cache, never the
             # run: the value still travels inline over the wire.
-            pass
+            self.tier.errors += 1
+        self.tier.record_put(value, time.perf_counter() - start)
 
     def describe(self) -> str:
         return f"directory:{self.cache.cache_dir}"

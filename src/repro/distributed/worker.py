@@ -20,7 +20,10 @@ from __future__ import annotations
 import asyncio
 import os
 import socket
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.tiering import TieredStore
 
 from repro.errors import ReproError
 from repro.distributed.jobs import ShardJob, execute_job
@@ -193,15 +196,50 @@ def run_worker(
     cache_dir: Optional[str] = None,
     name: Optional[str] = None,
     max_jobs: Optional[int] = None,
+    store_url: Optional[str] = None,
+    lru_entries: Optional[int] = None,
+    lru_bytes: Optional[int] = None,
+    ttl: Optional[float] = None,
 ) -> int:
     """Blocking worker entry point (the ``repro-sram worker`` command).
+
+    Without tiering options the worker keeps its historical store — a
+    plain :class:`DirectoryStore` over ``cache_dir``.  Any of
+    ``store_url`` / ``lru_entries`` / ``lru_bytes`` / ``ttl`` upgrades
+    it to the standard tiered composition
+    (:func:`~repro.runtime.tiering.make_tiered_store`): memory LRU →
+    directory → remote object store, write-behind to the remote.  A
+    cold worker pointed at a warm object store then computes nothing
+    (see ``docs/caching.md``).
 
     Returns a process exit code: 0 after a clean shutdown/drain, 1 when
     the connection or registration failed.
     """
+    store: CacheStore
+    tiered: Optional["TieredStore"] = None
+    if store_url or lru_entries is not None or lru_bytes is not None or ttl:
+        from repro.runtime.tiering import (
+            DEFAULT_LRU_BYTES,
+            DEFAULT_LRU_ENTRIES,
+            TieredStore,
+            make_tiered_store,
+        )
+
+        tiered = make_tiered_store(
+            cache_dir=cache_dir,
+            store_url=store_url,
+            lru_entries=(
+                DEFAULT_LRU_ENTRIES if lru_entries is None else lru_entries
+            ),
+            lru_bytes=DEFAULT_LRU_BYTES if lru_bytes is None else lru_bytes,
+            ttl=ttl,
+        )
+        store = tiered
+    else:
+        store = DirectoryStore(cache_dir)
     worker = Worker(
         host, port,
-        store=DirectoryStore(cache_dir),
+        store=store,
         name=name,
         max_jobs=max_jobs,
     )
@@ -210,5 +248,10 @@ def run_worker(
     except (ConnectionError, OSError, ProtocolError) as exc:
         print(f"worker {worker.name}: {exc}")
         return 1
+    finally:
+        if tiered is not None:
+            # Drain write-behind before exit so a short-lived worker's
+            # results still reach the shared remote tier.
+            tiered.close()
     print(f"worker {worker.name}: served {done} job(s)")
     return 0

@@ -23,6 +23,12 @@ provides the two pieces of infrastructure those sweeps share:
   futures for async request coalescing: the cache deduplicates
   *completed* work, SingleFlight deduplicates work still in flight
   (the batch-serving front-end in :mod:`repro.serving` uses both).
+* :class:`~repro.runtime.tiering.TieredStore` /
+  :class:`~repro.runtime.tiering.MemoryLRUStore` — the tiered cache
+  (memory LRU → directory → remote object store) with read-through
+  promotion and fail-open write-behind, so fleets on different
+  machines dedupe each other's warm configurations; see
+  ``docs/caching.md``.
 
 The SRAM characterization, the circuit-to-system studies, the CLI
 (``--jobs`` / ``--no-cache`` / ``--shards`` on every subcommand) and the
@@ -34,7 +40,9 @@ benchmark harness are all built on these primitives.  The contracts
 from repro.runtime.cache import (
     CACHE_VERSION,
     CacheStats,
+    CompactionResult,
     ResultCache,
+    content_key,
     default_cache_dir,
 )
 from repro.runtime.executor import SweepExecutor, resolve_jobs
@@ -45,17 +53,33 @@ from repro.runtime.sharding import (
     ShardPlan,
 )
 from repro.runtime.singleflight import SingleFlight
+from repro.runtime.tiering import (
+    CacheLike,
+    CacheStore,
+    MemoryLRUStore,
+    TieredStore,
+    TierStats,
+    make_tiered_store,
+)
 
 __all__ = [
     "CACHE_VERSION",
+    "CacheLike",
     "CacheStats",
+    "CacheStore",
+    "CompactionResult",
     "DEFAULT_BLOCK_SAMPLES",
+    "MemoryLRUStore",
     "ResultCache",
     "Shard",
     "ShardPlan",
     "ShardedMonteCarlo",
     "SingleFlight",
     "SweepExecutor",
+    "TierStats",
+    "TieredStore",
+    "content_key",
     "default_cache_dir",
+    "make_tiered_store",
     "resolve_jobs",
 ]

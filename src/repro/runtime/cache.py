@@ -54,6 +54,40 @@ def _canonical(obj: Any) -> Any:
     )
 
 
+def content_key(namespace: str, payload: Dict[str, Any], version: int) -> str:
+    """SHA-256 content address of ``(namespace, version, payload)``.
+
+    Module-level so every store backend — the on-disk
+    :class:`ResultCache`, the in-process LRU tier and the remote object
+    store (:mod:`repro.runtime.tiering`,
+    :mod:`repro.distributed.objectstore`) — addresses identical bytes
+    with identical keys: one computation, one address, everywhere.
+    """
+    blob = json.dumps(
+        {"namespace": namespace, "version": int(version), "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_canonical,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of one :meth:`ResultCache.compact` pass."""
+
+    removed: int
+    reclaimed_bytes: int
+    remaining: int
+    remaining_bytes: int
+
+    def summary(self) -> str:
+        return (
+            f"removed {self.removed} entries ({self.reclaimed_bytes / 1e6:.2f} MB); "
+            f"{self.remaining} entries ({self.remaining_bytes / 1e6:.2f} MB) remain"
+        )
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Snapshot of a cache directory plus this process's hit counters."""
@@ -116,13 +150,7 @@ class ResultCache:
     # ------------------------------------------------------------------
     def key(self, namespace: str, payload: Dict[str, Any]) -> str:
         """SHA-256 content address of ``(namespace, version, payload)``."""
-        blob = json.dumps(
-            {"namespace": namespace, "version": self.version, "payload": payload},
-            sort_keys=True,
-            separators=(",", ":"),
-            default=_canonical,
-        )
-        return hashlib.sha256(blob.encode()).hexdigest()[:32]
+        return content_key(namespace, payload, self.version)
 
     def path(self, namespace: str, payload: Dict[str, Any]) -> str:
         """Filesystem path of the entry addressed by ``payload``."""
@@ -133,13 +161,29 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Read / write
     # ------------------------------------------------------------------
-    def get(self, namespace: str, payload: Dict[str, Any]) -> Optional[Any]:
-        """Cached value for ``payload``, or None on any kind of miss."""
+    def get(
+        self,
+        namespace: str,
+        payload: Dict[str, Any],
+        ttl: Optional[float] = None,
+    ) -> Optional[Any]:
+        """Cached value for ``payload``, or None on any kind of miss.
+
+        With ``ttl`` (seconds), an entry that has lived its full TTL —
+        file age ``>= ttl`` — is treated as a miss: the caller
+        recomputes, and the fresh ``put`` replaces the stale file.
+        Expired files are left on disk for :meth:`compact` to reap, so
+        a TTL-reading process never races a TTL-less one on deletion.
+        """
         if not self.enabled:
             self.misses += 1
             return None
+        path = self.path(namespace, payload)
         try:
-            with open(self.path(namespace, payload)) as fh:
+            if ttl is not None and time.time() - os.path.getmtime(path) >= ttl:
+                self.misses += 1
+                return None
+            with open(path) as fh:
                 document = json.load(fh)
             value = document["value"]
         # ValueError covers JSONDecodeError and UnicodeDecodeError;
@@ -240,6 +284,77 @@ class ResultCache:
             by_namespace=by_namespace,
             hits=self.hits,
             misses=self.misses,
+        )
+
+    def compact(
+        self,
+        namespace: Optional[str] = None,
+        max_age: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> CompactionResult:
+        """Reap stale entries: TTL expiry first, then a byte budget.
+
+        Two independent policies, applied in order within the selected
+        ``namespace`` (or all namespaces):
+
+        1. ``max_age`` — delete every entry whose file age is
+           ``>= max_age`` seconds (the same "lived its full TTL" rule
+           :meth:`get` uses, so compaction deletes exactly the entries
+           reads already refuse).
+        2. ``max_bytes`` — delete **oldest first** until the surviving
+           entries total at most ``max_bytes``.
+
+        A namespace with no entries is a no-op.  Deletion races
+        (another process compacting or clearing concurrently) are
+        tolerated: a file that vanished underneath us simply does not
+        count as removed here.
+        """
+        now = time.time()
+        entries: list = []
+        for name in self._entries():
+            if namespace is not None and self._namespace_of(name) != namespace:
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        removed = 0
+        reclaimed = 0
+        survivors: list = []
+        for mtime, size, path in entries:
+            if max_age is not None and now - mtime >= max_age:
+                try:
+                    os.unlink(path)
+                    removed += 1
+                    reclaimed += size
+                except OSError:
+                    pass
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            kept: list = []
+            for mtime, size, path in survivors:
+                if total > max_bytes:
+                    try:
+                        os.unlink(path)
+                        removed += 1
+                        reclaimed += size
+                    except OSError:
+                        kept.append((mtime, size, path))
+                        continue
+                    total -= size
+                else:
+                    kept.append((mtime, size, path))
+            survivors = kept
+        return CompactionResult(
+            removed=removed,
+            reclaimed_bytes=reclaimed,
+            remaining=len(survivors),
+            remaining_bytes=sum(size for _, size, _ in survivors),
         )
 
     def clear(self, namespace: Optional[str] = None) -> int:

@@ -38,8 +38,8 @@ from functools import partial
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import ConfigurationError, ReproError
-from repro.runtime.cache import ResultCache
 from repro.runtime.singleflight import SingleFlight
+from repro.runtime.tiering import CacheLike
 from repro.serving.request import EvalRequest
 
 #: Cache namespace of serving responses (``repro-sram cache clear
@@ -99,8 +99,11 @@ class BatchingEvaluator:
         cache directory can safely serve many differently-configured
         simulators.
     cache:
-        Optional shared :class:`~repro.runtime.cache.ResultCache` used
-        as the response store; ``None`` (or a disabled cache) serves
+        Optional response store — a
+        :class:`~repro.runtime.cache.ResultCache`, or any
+        :class:`~repro.runtime.tiering.CacheStore` tier up to the full
+        :class:`~repro.runtime.tiering.TieredStore` (``--store-url``
+        on ``repro-sram serve``); ``None`` (or a disabled cache) serves
         every unique request from a live evaluation.
     batch_window:
         Seconds to hold the first pending request while more arrive.
@@ -114,7 +117,7 @@ class BatchingEvaluator:
     def __init__(
         self,
         simulator: Any,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[CacheLike] = None,
         batch_window: float = 0.01,
         max_batch: int = 32,
     ):
@@ -334,6 +337,24 @@ class BatchingEvaluator:
                         pass
                 results[i] = response
         return results
+
+    # ------------------------------------------------------------------
+    # Store introspection
+    # ------------------------------------------------------------------
+    def store_stats(self) -> Optional[Dict[str, Any]]:
+        """Per-tier cache counters, when the response store keeps them.
+
+        A :class:`~repro.runtime.tiering.CacheStore` (including the
+        tiered composition) reports hits/misses/bytes/latency/errors
+        per tier; a plain :class:`~repro.runtime.cache.ResultCache`
+        (or no cache) returns ``None``.  This is what the server's
+        ``{"type": "stats"}`` probe embeds under ``"store"``.
+        """
+        payload_fn = getattr(self.cache, "stats_payload", None)
+        if payload_fn is None:
+            return None
+        result: Dict[str, Any] = payload_fn()
+        return result
 
     # ------------------------------------------------------------------
     # Responses

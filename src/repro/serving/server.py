@@ -120,12 +120,18 @@ def _control_response(
     """
     kind = payload.get("type")
     if kind == "stats":
+        stats: Dict[str, Any] = dict(evaluator.stats.to_dict())
+        store = evaluator.store_stats()
+        if store is not None:
+            # Per-tier cache counters (docs/caching.md) ride along with
+            # the serving counters when the response store keeps them.
+            stats["store"] = store
         return _dumps(
             {
                 "ok": True,
                 "id": request_id,
                 "type": "stats",
-                "stats": evaluator.stats.to_dict(),
+                "stats": stats,
             }
         )
     return _error(request_id, f"unknown control type {kind!r}", "bad_request")
@@ -319,12 +325,26 @@ def request_stats(host: str, port: int, timeout: float = 10.0) -> Dict[str, Any]
     return stats
 
 
-def format_stats(stats: Dict[str, Any]) -> str:
-    """Aligned ``key : value`` rendering of one stats probe response."""
-    width = max(len(key) for key in stats)
-    return "\n".join(
-        f"{key:<{width}s} : {stats[key]}" for key in sorted(stats)
-    )
+def format_stats(stats: Dict[str, Any], indent: int = 0) -> str:
+    """Aligned ``key : value`` rendering of one stats probe response.
+
+    Nested objects — the per-tier ``store`` block a tiered cache adds —
+    render as indented sections, so one probe shows scheduling counters
+    and cache-tier counters in a single readable report.
+    """
+    scalars = {k: v for k, v in stats.items() if not isinstance(v, dict)}
+    nested = {k: v for k, v in stats.items() if isinstance(v, dict)}
+    pad = " " * indent
+    lines: List[str] = []
+    if scalars:
+        width = max(len(key) for key in scalars)
+        lines.extend(
+            f"{pad}{key:<{width}s} : {scalars[key]}" for key in sorted(scalars)
+        )
+    for key in sorted(nested):
+        lines.append(f"{pad}{key}:")
+        lines.append(format_stats(nested[key], indent=indent + 2))
+    return "\n".join(lines)
 
 
 def run_tcp_forever(

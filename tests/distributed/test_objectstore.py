@@ -1,0 +1,175 @@
+"""Tests of the S3-style object-store backend and its in-process fake."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.distributed.objectstore import (
+    FakeObjectStoreServer,
+    ObjectStore,
+    ObjectStoreError,
+)
+
+
+@pytest.fixture()
+def server():
+    with FakeObjectStoreServer() as srv:
+        yield srv
+
+
+@pytest.fixture()
+def store(server):
+    return ObjectStore(server.url)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, store):
+        payload = {"cell": "6t", "vdd": 0.7, "seed": 3}
+        assert store.get("mcshard", payload) is None
+        store.put("mcshard", payload, {"fails": [1, 2]})
+        assert store.get("mcshard", payload) == {"fails": [1, 2]}
+        assert store.tier.hits == 1 and store.tier.misses == 1
+        assert store.tier.errors == 0  # a 404 is a miss, not a failure
+
+    def test_last_writer_wins(self, store):
+        store.put("ns", {"k": 1}, "first")
+        store.put("ns", {"k": 1}, "second")
+        assert store.get("ns", {"k": 1}) == "second"
+
+    def test_two_clients_share_addresses(self, server):
+        writer, reader = ObjectStore(server.url), ObjectStore(server.url)
+        writer.put("ns", {"k": 1}, [1.5, 2.5])
+        assert reader.get("ns", {"k": 1}) == [1.5, 2.5]
+
+    def test_floats_roundtrip_bit_exact(self, store):
+        value = [0.1 + 0.2, 1e-300, -0.0]
+        store.put("ns", {"k": 1}, value)
+        assert store.get("ns", {"k": 1}) == value
+
+    def test_describe_and_repr(self, store, server):
+        assert store.describe() == f"object:{server.url}"
+        assert server.url in repr(store)
+
+    def test_object_url_quotes_namespace(self, store):
+        url = store.object_url("name space", {"k": 1})
+        assert "name%20space" in url
+
+
+class TestDegradation:
+    def test_unreachable_store_reads_as_miss_with_error(self):
+        dead = ObjectStore("http://127.0.0.1:1/repro-cache", timeout=0.5)
+        assert dead.get("ns", {"k": 1}) is None
+        assert dead.tier.errors == 1
+        assert dead.tier.misses == 1
+
+    def test_unreachable_store_put_raises(self):
+        dead = ObjectStore("http://127.0.0.1:1/repro-cache", timeout=0.5)
+        with pytest.raises(ObjectStoreError, match="unreachable"):
+            dead.put("ns", {"k": 1}, "v")
+        assert dead.tier.errors == 1
+
+    def test_read_only_store_rejects_puts(self, server, store):
+        server.read_only = True
+        with pytest.raises(ObjectStoreError):
+            store.put("ns", {"k": 1}, "v")
+        server.read_only = False
+        store.put("ns", {"k": 1}, "v")  # recovered
+        assert store.get("ns", {"k": 1}) == "v"
+
+    def test_corrupt_remote_document_is_a_miss(self, server, store):
+        """Torn bytes at the remote (a dying proxy, a partial upload on
+        a non-atomic backend) must read as None, counted as an error."""
+        store.put("ns", {"k": 1}, {"good": True})
+        url = store.object_url("ns", {"k": 1})
+        for garbage in (b"{\"value\": ", b"", b"not json at all"):
+            request = urllib.request.Request(url, data=garbage, method="PUT")
+            with urllib.request.urlopen(request, timeout=5.0):
+                pass
+            assert store.get("ns", {"k": 1}) is None
+        # Well-formed JSON that is not a cache document either.
+        request = urllib.request.Request(url, data=b"[1,2]", method="PUT")
+        with urllib.request.urlopen(request, timeout=5.0):
+            pass
+        assert store.get("ns", {"k": 1}) is None
+        assert store.tier.errors == 4
+
+    def test_url_validation(self):
+        with pytest.raises(ValueError, match="store URL"):
+            ObjectStore("ftp://host/prefix")
+        with pytest.raises(ValueError, match="store URL"):
+            ObjectStore("not-a-url")
+        with pytest.raises(ValueError, match="timeout"):
+            ObjectStore("http://host/prefix", timeout=0.0)
+
+
+class TestRemoteStats:
+    def test_stats_endpoint_counts_traffic(self, server, store):
+        store.put("ns", {"k": 1}, "v")
+        store.get("ns", {"k": 1})
+        store.get("ns", {"k": 2})  # miss
+        stats = store.remote_stats()
+        assert stats["objects"] == 1
+        assert stats["puts"] == 1
+        assert stats["gets"] == 2
+        assert stats["misses"] == 1
+        assert stats["bytes"] > 0
+
+    def test_stats_unreachable_raises(self):
+        dead = ObjectStore("http://127.0.0.1:1/repro-cache", timeout=0.5)
+        with pytest.raises(ObjectStoreError, match="stats"):
+            dead.remote_stats()
+
+
+class TestFakeServerProtocol:
+    def test_delete_verb(self, server, store):
+        store.put("ns", {"k": 1}, "v")
+        url = store.object_url("ns", {"k": 1})
+        request = urllib.request.Request(url, method="DELETE")
+        with urllib.request.urlopen(request, timeout=5.0) as response:
+            assert json.loads(response.read()) == {"ok": True}
+        assert store.get("ns", {"k": 1}) is None
+        # Deleting a missing object 404s.
+        request = urllib.request.Request(url, method="DELETE")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 404
+
+    def test_start_is_idempotent(self):
+        server = FakeObjectStoreServer()
+        try:
+            assert server.start() is server.start()
+        finally:
+            server.stop()
+
+    def test_address_and_url(self, server):
+        host, port = server.address
+        assert host == "127.0.0.1" and port > 0
+        assert server.url == f"http://{host}:{port}/repro-cache"
+
+
+class TestExecuteJobIntegration:
+    def test_warm_remote_store_short_circuits_computation(self, server):
+        """A worker whose store already holds a shard's address reports
+        cached=True and never computes — the zero-recompute contract a
+        cold fleet against a warm object store relies on."""
+        from repro.distributed.jobs import execute_job, margin_tally_jobs
+        from repro.sram import make_cell
+        from repro.devices.technology import get_technology
+        from repro.sram.montecarlo import MonteCarloAnalyzer
+        from repro.runtime import ShardPlan
+
+        analyzer = MonteCarloAnalyzer(
+            cell=make_cell("6t", get_technology("ptm22")),
+            n_samples=256, block_samples=64,
+        ).resolved()
+        plan = ShardPlan.plan(256, block_samples=64, shards=1)
+        (job,) = margin_tally_jobs(analyzer, vdd=0.7, plan=plan)
+        store = ObjectStore(server.url)
+        value, cached = execute_job(job, store)
+        assert cached is False
+        warm_value, warm_cached = execute_job(job, ObjectStore(server.url))
+        assert warm_cached is True
+        assert json.dumps(warm_value, sort_keys=True) == json.dumps(
+            value, sort_keys=True
+        )

@@ -39,3 +39,72 @@ class TestDirectoryStore:
     def test_interface_is_abstract(self):
         with pytest.raises(TypeError):
             CacheStore()  # type: ignore[abstract]
+
+    def test_torn_document_reads_as_none(self, tmp_path):
+        """The CacheStore contract: corruption is a miss, never an error.
+
+        A torn write (killed process, full disk on a non-atomic backend)
+        leaves a truncated JSON document; ``get`` must return ``None``
+        so the caller recomputes — the fresh put then repairs the entry.
+        """
+        store = DirectoryStore(str(tmp_path / "s"))
+        payload = {"cell": "6t", "vdd": 0.7}
+        store.put("mcshard", payload, {"fails": [1, 2, 3]})
+        path = store.cache.path("mcshard", payload)
+        with open(path) as fh:
+            intact = fh.read()
+        for torn in (intact[: len(intact) // 2],  # truncated mid-document
+                     "",                           # zero bytes
+                     "{\"value\": "):              # cut inside the value
+            with open(path, "w") as fh:
+                fh.write(torn)
+            assert store.get("mcshard", payload) is None, repr(torn[:20])
+        # A well-formed document that is not a cache document either.
+        with open(path, "w") as fh:
+            fh.write("[1, 2, 3]")
+        assert store.get("mcshard", payload) is None
+        # The recompute path heals the slot.
+        store.put("mcshard", payload, {"fails": [1, 2, 3]})
+        assert store.get("mcshard", payload) == {"fails": [1, 2, 3]}
+
+    def test_tier_counters(self, tmp_path):
+        store = DirectoryStore(str(tmp_path / "s"))
+        payload = {"k": 1}
+        assert store.get("mcshard", payload) is None
+        store.put("mcshard", payload, [1, 2])
+        assert store.get("mcshard", payload) == [1, 2]
+        stats = store.stats_payload()
+        assert stats["store"].startswith("directory:")
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["bytes_written"] == stats["bytes_read"] > 0
+        assert stats["errors"] == 0
+
+    def test_put_failure_counts_an_error(self, tmp_path, monkeypatch):
+        store = DirectoryStore(str(tmp_path / "s"))
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store.cache, "put", boom)
+        store.put("mcshard", {"k": 1}, 42)
+        assert store.tier.errors == 1
+
+    def test_ttl_expires_and_counts(self, tmp_path):
+        import os
+        import time
+
+        store = DirectoryStore(str(tmp_path / "s"), ttl=60.0)
+        payload = {"k": 1}
+        store.put("mcshard", payload, "fresh")
+        assert store.get("mcshard", payload) == "fresh"
+        path = store.cache.path("mcshard", payload)
+        old = time.time() - 61.0
+        os.utime(path, (old, old))
+        assert store.get("mcshard", payload) is None
+        assert store.tier.expirations == 1
+        assert os.path.exists(path)  # left for compact to reap
+
+    def test_ttl_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="ttl"):
+            DirectoryStore(str(tmp_path / "s"), ttl=0.0)

@@ -208,3 +208,101 @@ class TestConcurrency:
             document = json.load(fh)
         assert document["value"] == {"x": 1}
         assert document["payload"] == {"k": 1}
+
+
+class TestTTL:
+    def test_entry_younger_than_ttl_hits(self, cache):
+        cache.put("mc", {"k": 1}, "fresh")
+        assert cache.get("mc", {"k": 1}, ttl=3600.0) == "fresh"
+
+    def test_expiry_at_exactly_ttl(self, cache):
+        """The boundary rule: an entry that has lived its FULL ttl (age
+        >= ttl, not age > ttl) is expired."""
+        cache.put("mc", {"k": 1}, "stale")
+        path = cache.path("mc", {"k": 1})
+        import time as _time
+
+        exactly = _time.time() - 30.0
+        os.utime(path, (exactly, exactly))
+        assert cache.get("mc", {"k": 1}, ttl=30.0) is None
+
+    def test_expired_file_left_for_compact(self, cache):
+        cache.put("mc", {"k": 1}, "stale")
+        path = cache.path("mc", {"k": 1})
+        os.utime(path, (0, 0))
+        assert cache.get("mc", {"k": 1}, ttl=1.0) is None
+        assert os.path.exists(path)
+
+    def test_ttl_none_never_expires(self, cache):
+        cache.put("mc", {"k": 1}, "old")
+        os.utime(cache.path("mc", {"k": 1}), (0, 0))
+        assert cache.get("mc", {"k": 1}) == "old"
+
+
+class TestCompaction:
+    def _plant(self, cache, namespace, key, age, size=None):
+        """One entry whose file is ``age`` seconds old (and optionally
+        padded to a deliberate size for byte-budget tests)."""
+        import time as _time
+
+        cache.put(namespace, {"k": key}, "x" * (size or 1))
+        path = cache.path(namespace, {"k": key})
+        then = _time.time() - age
+        os.utime(path, (then, then))
+        return path
+
+    def test_max_age_deletes_exactly_the_expired(self, cache):
+        old = self._plant(cache, "mc", "old", age=100.0)
+        boundary = self._plant(cache, "mc", "boundary", age=50.0)
+        fresh = self._plant(cache, "mc", "fresh", age=0.0)
+        result = cache.compact(max_age=50.0)
+        # age >= max_age expires: the boundary entry goes too (same rule
+        # get(ttl=...) applies, so compact deletes what reads refuse).
+        assert result.removed == 2
+        assert not os.path.exists(old) and not os.path.exists(boundary)
+        assert os.path.exists(fresh)
+        assert result.remaining == 1
+
+    def test_max_bytes_evicts_oldest_first(self, cache):
+        oldest = self._plant(cache, "mc", "a", age=30.0)
+        middle = self._plant(cache, "mc", "b", age=20.0)
+        newest = self._plant(cache, "mc", "c", age=10.0)
+        one = os.path.getsize(newest)
+        result = cache.compact(max_bytes=2 * one)
+        assert result.removed == 1
+        assert not os.path.exists(oldest)
+        assert os.path.exists(middle) and os.path.exists(newest)
+        assert result.remaining_bytes <= 2 * one
+
+    def test_namespace_filter(self, cache):
+        doomed = self._plant(cache, "mc", "x", age=100.0)
+        spared = self._plant(cache, "serve", "x", age=100.0)
+        result = cache.compact(namespace="mc", max_age=1.0)
+        assert result.removed == 1
+        assert not os.path.exists(doomed)
+        assert os.path.exists(spared)
+
+    def test_empty_namespace_is_a_noop(self, cache):
+        survivor = self._plant(cache, "mc", "x", age=100.0)
+        result = cache.compact(namespace="nothing-here", max_age=0.0,
+                               max_bytes=0)
+        assert result.removed == 0 and result.reclaimed_bytes == 0
+        assert result.remaining == 0
+        assert os.path.exists(survivor)
+
+    def test_compact_without_policies_removes_nothing(self, cache):
+        self._plant(cache, "mc", "x", age=100.0)
+        result = cache.compact()
+        assert result.removed == 0
+        assert result.remaining == 1
+
+    def test_missing_dir_is_a_noop(self, tmp_path):
+        result = ResultCache(cache_dir=str(tmp_path / "never")).compact(
+            max_age=1.0
+        )
+        assert result.removed == 0 and result.remaining == 0
+
+    def test_summary_mentions_counts(self, cache):
+        self._plant(cache, "mc", "x", age=100.0)
+        result = cache.compact(max_age=1.0)
+        assert "removed 1 entries" in result.summary()
