@@ -290,6 +290,7 @@ def cmd_dispatch(args) -> int:
     from repro.distributed import DirectoryStore, ShardDispatcher
     from repro.serving.server import format_stats, request_stats
     from repro.sram import DEFAULT_VDD_GRID, make_cell
+    from repro.sram.importance_sampling import ImportanceSampler
     from repro.sram.montecarlo import MonteCarloAnalyzer
 
     if args.stats:
@@ -299,13 +300,6 @@ def cmd_dispatch(args) -> int:
 
     listen_host, listen_port = _parse_endpoint(args.listen, "--listen")
     cell = make_cell(args.cell, get_technology(args.tech))
-    analyzer = MonteCarloAnalyzer(
-        cell=cell,
-        n_samples=args.samples,
-        block_samples=(args.block_samples if args.block_samples is not None
-                       else DEFAULT_BLOCK_SAMPLES),
-        backend=args.backend,
-    )
     vdds = tuple(args.vdd) if args.vdd else DEFAULT_VDD_GRID
     if _tiering_requested(args):
         store = _build_store(args, cache_dir=args.cache_dir)
@@ -314,33 +308,60 @@ def cmd_dispatch(args) -> int:
     with ShardDispatcher(
         store=store,
         max_retries=args.max_retries,
+        speculation_threshold=args.speculation_threshold,
     ) as dispatcher:
         host, port = dispatcher.start(listen_host, listen_port)
         print(f"dispatching on {host}:{port} "
               f"(store {dispatcher.store.describe()}); "
               f"waiting for {args.min_workers} worker(s)")
         dispatcher.await_workers(args.min_workers)
-        # Default the shard count to the fleet size: one shard per
-        # worker is the natural grain when none was requested.
-        shards = args.shards if args.shards is not None else max(
-            1, dispatcher.stats.active_workers
-        )
-        rows = []
-        for vdd in vdds:
-            rates = analyzer.analyze_sharded(
-                vdd, shards=shards,
-                max_shard_samples=args.max_shard_samples,
+        if args.workload == "is":
+            sampler = ImportanceSampler(cell, backend=args.backend)
+            results = sampler.estimate_sweep(
+                vdds, n_samples=args.samples, seed=args.seed,
                 dispatcher=dispatcher,
             )
-            rows.append([vdd, f"{rates.p_read_access:.3e}",
-                         f"{rates.p_write:.3e}",
-                         f"{rates.p_read_disturb:.3e}",
-                         f"{rates.p_cell:.3e}"])
-        print(f"{args.cell.upper()} cell, {args.tech}, {args.samples} MC "
-              f"samples, {shards} shard(s) per point:")
-        print(format_table(
-            ["VDD", "P(read acc)", "P(write)", "P(disturb)", "P(cell)"], rows,
-        ))
+            rows = [
+                [r.vdd, f"{r.probability:.3e}",
+                 f"{100 * r.relative_error:.1f}%", r.n_samples]
+                for r in results
+            ]
+            print(f"{args.cell.upper()} cell, {args.tech}, importance "
+                  f"sampling, {args.samples} samples per point:")
+            print(format_table(
+                ["VDD", "P(read acc)", "rel. err.", "samples"], rows,
+            ))
+        else:
+            analyzer = MonteCarloAnalyzer(
+                cell=cell,
+                n_samples=args.samples,
+                block_samples=(args.block_samples
+                               if args.block_samples is not None
+                               else DEFAULT_BLOCK_SAMPLES),
+                backend=args.backend,
+            )
+            # Default the shard count to the fleet size: one shard per
+            # worker is the natural grain when none was requested.
+            shards = args.shards if args.shards is not None else max(
+                1, dispatcher.stats.active_workers
+            )
+            rows = []
+            for vdd in vdds:
+                rates = analyzer.analyze_sharded(
+                    vdd, shards=shards,
+                    max_shard_samples=args.max_shard_samples,
+                    dispatcher=dispatcher,
+                )
+                rows.append([vdd, f"{rates.p_read_access:.3e}",
+                             f"{rates.p_write:.3e}",
+                             f"{rates.p_read_disturb:.3e}",
+                             f"{rates.p_cell:.3e}"])
+            print(f"{args.cell.upper()} cell, {args.tech}, {args.samples} MC "
+                  f"samples, {shards} shard(s) per point:")
+            print(format_table(
+                ["VDD", "P(read acc)", "P(write)", "P(disturb)", "P(cell)"],
+                rows,
+            ))
         print(dispatcher.stats.summary())
     close = getattr(store, "close", None)
     if close is not None:
@@ -491,6 +512,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-workers", type=int, default=1, metavar="N",
                    help="wait for N registered workers before dispatching "
                         "(default 1)")
+    p.add_argument("--workload", choices=["margin", "is"], default="margin",
+                   help="job kind to dispatch: 'margin' (Monte-Carlo "
+                        "failure margins, sharded) or 'is' (one "
+                        "importance-sampled job per voltage point); "
+                        "default margin")
+    p.add_argument("--speculation-threshold", type=float, default=None,
+                   metavar="S",
+                   help="re-dispatch a job still running after S seconds "
+                        "to a second worker — first result wins (default: "
+                        "adaptive, from the completed-job latency quantile)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="base seed for --workload is (per-point seeds "
+                        "derive from it; default: entropy)")
     p.add_argument("--cell", choices=["6t", "8t"], default="6t")
     p.add_argument("--tech", default="ptm22", help="technology name")
     p.add_argument("--samples", type=int, default=8000,

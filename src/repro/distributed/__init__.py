@@ -25,13 +25,19 @@ The pieces:
   with :func:`~repro.runtime.tiering.make_tiered_store`;
   ``docs/caching.md`` has the map);
 * :mod:`~repro.distributed.jobs` — wire-format shard jobs plus the
-  worker-side execution registry (``margin_tally`` ships built in);
+  worker-side execution registry.  Four kinds ship built in — the whole
+  circuit → memory system → NN pipeline of the paper: ``margin_tally``
+  (Monte-Carlo failure margins), ``is_shard`` (importance-sampled
+  points), ``fault_block`` (batched fault trials) and ``nn_fault_eval``
+  (NN accuracy under faults);
 * :mod:`~repro.distributed.protocol` — the message vocabulary
   (register / ready / assign / result / heartbeat / stats);
 * :mod:`~repro.distributed.dispatcher` /
   :mod:`~repro.distributed.worker` — the two processes, with
   heartbeat-based liveness, retry/reassignment of shards from dead
-  workers, and streaming merges.
+  workers, per-client priority queues with fair dequeue, speculative
+  re-execution of stragglers (first bit-identical answer wins), and
+  streaming merges.
 
 Deployment topology, failure semantics and the cache-store contract
 are documented in ``docs/distributed.md``; the CLI front-ends are
@@ -46,9 +52,17 @@ from repro.distributed.dispatcher import (
 from repro.distributed.jobs import (
     ShardJob,
     analyzer_from_spec,
+    benchmark_model_spec,
+    concat_blocks,
     execute_job,
+    fault_block_jobs,
+    is_shard_jobs,
     margin_tally_jobs,
+    model_from_spec,
+    nn_fault_eval_jobs,
     register_job_kind,
+    registered_job_kinds,
+    sampler_from_spec,
 )
 from repro.distributed.objectstore import (
     FakeObjectStoreServer,
@@ -74,9 +88,17 @@ __all__ = [
     "ShardJob",
     "Worker",
     "analyzer_from_spec",
+    "benchmark_model_spec",
+    "concat_blocks",
     "execute_job",
+    "fault_block_jobs",
+    "is_shard_jobs",
     "margin_tally_jobs",
+    "model_from_spec",
+    "nn_fault_eval_jobs",
     "register_job_kind",
+    "registered_job_kinds",
     "run_worker",
+    "sampler_from_spec",
     "serve_object_store",
 ]

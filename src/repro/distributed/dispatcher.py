@@ -11,6 +11,13 @@ own store, off-loop), which is what warms a remote object store only
 the dispatcher is configured to reach.  Double writes are harmless:
 one content address, identical bytes.
 
+Scheduling: the dispatcher serves any number of **concurrent runs**.
+Each run enqueues under a *client* name with a *priority* (lower value
+first); dequeue is round-robin across clients — one job per client per
+turn — so a client submitting a thousand shards cannot starve one
+submitting three.  Queue depths (total, per job kind, per client) ride
+on the ``stats`` probe as autoscaling hooks.
+
 Failure model — everything reduces to *recompute is free, results are
 exact*:
 
@@ -19,11 +26,19 @@ exact*:
   ``heartbeat_timeout`` — or whose connection drops — is retired and
   its in-flight job is requeued, up to ``max_retries`` reassignments
   per job.
-* **Duplicated work.**  A retired-but-alive worker may still finish
-  its shard.  Its late result is *accepted* if the job is still open
-  (first answer wins — all answers are bit-identical by the
-  determinism contract) and ignored otherwise; the shared store
-  dedupes the wasted recompute for every future run.
+* **Stragglers.**  An alive-but-slow worker holds a job past the
+  speculation threshold (a fixed cutoff, or a quantile of observed
+  compute latencies); when idle capacity exists, the job is
+  *speculatively* re-executed on a second worker and the first answer
+  wins.  This is safe for the same reason retries are: results are
+  content-addressed and bit-identical, so racing computations of one
+  job produce the same bytes at one address.
+* **Duplicated work.**  A retired-but-alive worker — or the loser of a
+  speculation race — may still finish its shard.  Its late result is
+  *accepted* if the job is still open (first answer wins — all answers
+  are bit-identical by the determinism contract) and ignored
+  otherwise; the shared store dedupes the wasted recompute for every
+  future run.
 * **Exactness.**  Merging uses the caller's exact reduce (integer
   tallies + ``fsum``, see :class:`~repro.sram.montecarlo.MarginTally`),
   and the merge is folded *streaming* over the contiguous completed
@@ -31,13 +46,16 @@ exact*:
   to any other grouping.
 
 The combination is the acceptance bar of this subsystem: a sweep
-dispatched to N workers, with any of them killed mid-run, produces
-byte-identical results to a monolithic single-host ``analyze``.
+dispatched to N workers, with any of them killed, stalled or
+disconnected mid-run, produces byte-identical results to a monolithic
+single-host run — the contract ``tests/distributed/chaos.py`` enforces
+for every registered job kind.
 """
 
 from __future__ import annotations
 
 import asyncio
+import heapq
 import threading
 from collections import deque
 from dataclasses import asdict, dataclass, field
@@ -76,8 +94,10 @@ class DispatcherStats:
     (the dispatcher's own store, no assignment at all),
     ``worker_cache_hits`` (a worker's store lookup) and ``computed``
     (actually executed).  ``retries`` counts reassignments after worker
-    death or failure; ``per_worker`` maps worker name → assignments,
-    which is how an operator (or the smoke test) sees who did what.
+    death or failure; ``speculations`` counts duplicate assignments of
+    straggler jobs and ``speculative_wins`` how often the backup answer
+    arrived first; ``per_worker`` maps worker name → assignments, which
+    is how an operator (or the smoke test) sees who did what.
     """
 
     jobs: int = 0
@@ -87,6 +107,8 @@ class DispatcherStats:
     computed: int = 0
     assignments: int = 0
     retries: int = 0
+    speculations: int = 0
+    speculative_wins: int = 0
     failures: int = 0
     workers_seen: int = 0
     workers_lost: int = 0
@@ -102,6 +124,8 @@ class DispatcherStats:
             f"{self.jobs} jobs: {self.store_hits} store hits, "
             f"{self.worker_cache_hits} worker cache hits, "
             f"{self.computed} computed, {self.retries} retries, "
+            f"{self.speculations} speculations "
+            f"({self.speculative_wins} won), "
             f"{self.failures} failures; "
             f"{self.active_workers} active / {self.workers_seen} seen / "
             f"{self.workers_lost} lost workers"
@@ -128,13 +152,28 @@ class _WorkerConn:
 
 
 class _JobState:
-    """One job's dispatch bookkeeping (attempts, current assignee)."""
+    """One job's dispatch bookkeeping (attempts, assignees, timings)."""
 
-    def __init__(self, job: ShardJob, position: int):
+    def __init__(
+        self, job: ShardJob, run: "_Run", position: int,
+        client: str, priority: int,
+    ):
         self.job = job
+        self.run = run
         self.position = position
+        self.client = client
+        self.priority = priority
+        self.seq = 0  # FIFO tiebreaker within a priority class
         self.attempts = 0
-        self.worker: Optional[_WorkerConn] = None
+        #: Workers currently computing this job (2 while a speculation
+        #: race is in flight).
+        self.assignees: List[_WorkerConn] = []
+        #: Subset of assignees that were speculative (backup) copies.
+        self.speculative: Set[_WorkerConn] = set()
+        #: Assignment time per worker (straggler age + latency samples).
+        self.started: Dict[_WorkerConn, float] = {}
+        #: A backup copy has been launched for the current attempt.
+        self.speculated = False
 
 
 class _Run:
@@ -145,12 +184,15 @@ class _Run:
         jobs: Sequence[ShardJob],
         decode: Optional[Callable[[Any], Any]],
         merge: Optional[Callable[[Sequence[Any]], Any]],
+        client: str,
     ):
         self.future: "asyncio.Future[Any]" = (
             asyncio.get_running_loop().create_future()
         )
         self.decode = decode
         self.merge = merge
+        self.client = client
+        self.job_ids: Set[str] = {job.job_id for job in jobs}
         self.remaining = len(jobs)
         # merge=None collects raw values in job order instead.
         self.values: List[Any] = [None] * len(jobs)
@@ -214,6 +256,17 @@ class ShardDispatcher:
     heartbeat_interval / heartbeat_timeout:
         Liveness cadence; the timeout defaults to
         ``HEARTBEAT_TIMEOUT_FACTOR × interval``.
+    speculate / speculation_threshold / speculation_quantile /
+    speculation_factor / speculation_min_samples:
+        Straggler re-execution policy.  A job held by exactly one live
+        worker for longer than the threshold is duplicated onto an idle
+        worker (first answer wins).  ``speculation_threshold`` fixes
+        the cutoff in seconds; when ``None`` (the default) the cutoff
+        adapts to the fleet — ``speculation_factor`` × the
+        ``speculation_quantile`` of observed compute latencies, once
+        ``speculation_min_samples`` completions have been seen.
+        Speculation never consumes the retry budget and is off entirely
+        with ``speculate=False``.
     """
 
     def __init__(
@@ -222,12 +275,36 @@ class ShardDispatcher:
         max_retries: int = 3,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         heartbeat_timeout: Optional[float] = None,
+        speculate: bool = True,
+        speculation_threshold: Optional[float] = None,
+        speculation_quantile: float = 0.75,
+        speculation_factor: float = 3.0,
+        speculation_min_samples: int = 5,
     ):
         if max_retries < 0:
             raise DispatchError(f"max_retries must be >= 0, got {max_retries}")
         if heartbeat_interval <= 0:
             raise DispatchError(
                 f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        if speculation_threshold is not None and speculation_threshold <= 0:
+            raise DispatchError(
+                f"speculation_threshold must be positive, "
+                f"got {speculation_threshold}"
+            )
+        if not 0.0 < speculation_quantile < 1.0:
+            raise DispatchError(
+                f"speculation_quantile must lie in (0, 1), "
+                f"got {speculation_quantile}"
+            )
+        if speculation_factor < 1.0:
+            raise DispatchError(
+                f"speculation_factor must be >= 1, got {speculation_factor}"
+            )
+        if speculation_min_samples < 1:
+            raise DispatchError(
+                f"speculation_min_samples must be >= 1, "
+                f"got {speculation_min_samples}"
             )
         self.store = store
         self.max_retries = int(max_retries)
@@ -236,13 +313,26 @@ class ShardDispatcher:
             float(heartbeat_timeout) if heartbeat_timeout is not None
             else HEARTBEAT_TIMEOUT_FACTOR * self.heartbeat_interval
         )
+        self.speculate = bool(speculate)
+        self.speculation_threshold = (
+            None if speculation_threshold is None else float(speculation_threshold)
+        )
+        self.speculation_quantile = float(speculation_quantile)
+        self.speculation_factor = float(speculation_factor)
+        self.speculation_min_samples = int(speculation_min_samples)
         self.stats = DispatcherStats()
         self._workers: Set[_WorkerConn] = set()
         self._idle: Deque[_WorkerConn] = deque()
-        self._queue: Deque[_JobState] = deque()
+        #: Per-client priority heaps of (priority, seq, state).
+        self._queues: Dict[str, List[Tuple[int, int, _JobState]]] = {}
+        #: Round-robin order of clients with queued work.
+        self._rr: Deque[str] = deque()
+        self._seq = 0
         self._outstanding: Dict[str, _JobState] = {}
-        self._run: Optional[_Run] = None
-        self._run_lock: Optional[asyncio.Lock] = None
+        #: Recent compute latencies (assignment → result) feeding the
+        #: adaptive speculation threshold.
+        self._durations: Deque[float] = deque(maxlen=512)
+        self._aloop: Optional[asyncio.AbstractEventLoop] = None
         self._worker_event: Optional[asyncio.Event] = None
         self._monitor_task: Optional["asyncio.Task[None]"] = None
         self._conn_tasks: Set["asyncio.Task[Any]"] = set()
@@ -259,7 +349,7 @@ class ShardDispatcher:
         self, host: str = "127.0.0.1", port: int = 0
     ) -> asyncio.AbstractServer:
         """Start the worker-facing TCP server (``port=0`` = ephemeral)."""
-        self._run_lock = self._run_lock or asyncio.Lock()
+        self._aloop = asyncio.get_running_loop()
         self._worker_event = self._worker_event or asyncio.Event()
         self._server = await asyncio.start_server(
             self._serve_connection, host=host, port=port, limit=STREAM_LIMIT
@@ -280,6 +370,8 @@ class ShardDispatcher:
         jobs: Sequence[ShardJob],
         decode: Optional[Callable[[Any], Any]] = None,
         merge: Optional[Callable[[Sequence[Any]], Any]] = None,
+        client: str = "default",
+        priority: int = 0,
     ) -> Any:
         """Execute ``jobs`` on the fleet; return the (merged) results.
 
@@ -289,49 +381,58 @@ class ShardDispatcher:
         order.  Raises :class:`DispatchError` when a job exhausts its
         retry budget — double-computation along the way is harmless
         (idempotent by cache address), a *lost* job is not.
+
+        Any number of runs may be in flight concurrently: jobs queue
+        under ``client`` (fair round-robin across clients) ordered by
+        ``priority`` (lower dequeues first) then submit order.
         """
-        if self._run_lock is None:
+        if self._worker_event is None:
             raise DispatchError("dispatcher is not serving (call serve()/start())")
         if not jobs:
             raise DispatchError("cannot run an empty job list")
         ids = {job.job_id for job in jobs}
         if len(ids) != len(jobs):
             raise DispatchError("job ids must be unique within a run")
-        async with self._run_lock:
-            run = _Run(jobs, decode, merge)
-            self._run = run
-            try:
-                loop = asyncio.get_running_loop()
-                if self.store is None:
-                    hits: List[Any] = [None] * len(jobs)
+        clash = ids & set(self._outstanding)
+        if clash:
+            raise DispatchError(
+                f"job ids already outstanding in another run: "
+                f"{', '.join(sorted(clash))}"
+            )
+        run = _Run(jobs, decode, merge, client=str(client))
+        try:
+            loop = asyncio.get_running_loop()
+            if self.store is None:
+                hits: List[Any] = [None] * len(jobs)
+            else:
+                # Store I/O off-loop (an NFS stall must not freeze
+                # heartbeat monitoring) and concurrent — N serial
+                # round-trips would delay the first assignment by
+                # N x store latency on a resumed run.
+                store = self.store
+                hits = list(await asyncio.gather(*(
+                    loop.run_in_executor(
+                        None, store.get, job.namespace, job.payload
+                    )
+                    for job in jobs
+                )))
+            for position, (job, hit) in enumerate(zip(jobs, hits)):
+                self.stats.jobs += 1
+                if hit is not None:
+                    self.stats.store_hits += 1
+                    self.stats.completed += 1
+                    run.accept(position, hit)
                 else:
-                    # Store I/O off-loop (an NFS stall must not freeze
-                    # heartbeat monitoring) and concurrent — N serial
-                    # round-trips would delay the first assignment by
-                    # N x store latency on a resumed run.
-                    store = self.store
-                    hits = list(await asyncio.gather(*(
-                        loop.run_in_executor(
-                            None, store.get, job.namespace, job.payload
-                        )
-                        for job in jobs
-                    )))
-                for position, (job, hit) in enumerate(zip(jobs, hits)):
-                    self.stats.jobs += 1
-                    if hit is not None:
-                        self.stats.store_hits += 1
-                        self.stats.completed += 1
-                        run.accept(position, hit)
-                    else:
-                        state = _JobState(job, position)
-                        self._outstanding[job.job_id] = state
-                        self._queue.append(state)
-                self._pump()
-                return await run.future
-            finally:
-                self._run = None
-                self._queue.clear()
-                self._outstanding.clear()
+                    state = _JobState(
+                        job, run, position,
+                        client=run.client, priority=int(priority),
+                    )
+                    self._outstanding[job.job_id] = state
+                    self._enqueue(state)
+            self._pump()
+            return await run.future
+        finally:
+            self._purge_run(run)
 
     async def wait_for_workers(self, n: int, timeout: Optional[float] = None) -> None:
         """Block until ``n`` workers are registered (for scripted runs)."""
@@ -433,12 +534,21 @@ class ShardDispatcher:
         decode: Optional[Callable[[Any], Any]] = None,
         merge: Optional[Callable[[Sequence[Any]], Any]] = None,
         timeout: Optional[float] = None,
+        client: str = "default",
+        priority: int = 0,
     ) -> Any:
-        """Blocking :meth:`run` against the daemon-thread event loop."""
+        """Blocking :meth:`run` against the daemon-thread event loop.
+
+        Thread-safe: any number of caller threads may dispatch
+        concurrently; their runs queue under their ``client`` names and
+        share the fleet fairly.
+        """
         if self._loop is None:
             raise DispatchError("dispatcher is not started (call start())")
         future = asyncio.run_coroutine_threadsafe(
-            self.run(jobs, decode=decode, merge=merge), self._loop
+            self.run(jobs, decode=decode, merge=merge,
+                     client=client, priority=priority),
+            self._loop,
         )
         return future.result(timeout)
 
@@ -468,25 +578,125 @@ class ShardDispatcher:
     # ------------------------------------------------------------------
     # Scheduling core (event-loop thread only)
     # ------------------------------------------------------------------
+    def _now(self) -> float:
+        assert self._aloop is not None, "serve() first"
+        return self._aloop.time()
+
+    def _enqueue(self, state: _JobState) -> None:
+        """Queue one job under its client's priority heap."""
+        self._seq += 1
+        state.seq = self._seq
+        heap = self._queues.setdefault(state.client, [])
+        heapq.heappush(heap, (state.priority, state.seq, state))
+        if state.client not in self._rr:
+            self._rr.append(state.client)
+
+    def _dequeue(self) -> Optional[_JobState]:
+        """Fair dequeue: one job from the next client in round-robin,
+        best (priority, submit order) first within that client."""
+        while self._rr:
+            client = self._rr[0]
+            heap = self._queues.get(client, [])
+            state: Optional[_JobState] = None
+            while heap:
+                _, _, candidate = heapq.heappop(heap)
+                # Skip stale entries: answered while queued (late
+                # duplicate or store write), or purged with a failed run.
+                if self._outstanding.get(candidate.job.job_id) is candidate:
+                    state = candidate
+                    break
+            if state is None:
+                self._rr.popleft()
+                self._queues.pop(client, None)
+                continue
+            self._rr.rotate(-1)  # this client goes to the back
+            return state
+        return None
+
+    def _next_idle(self) -> Optional[_WorkerConn]:
+        while self._idle:
+            worker = self._idle.popleft()
+            if not worker.retired and worker.current is None:
+                return worker
+        return None
+
     def _pump(self) -> None:
         """Hand queued jobs to idle workers (pull-model assignment)."""
-        while self._queue and self._idle:
-            worker = self._idle.popleft()
-            if worker.retired or worker.current is not None:
+        while self._idle:
+            state = self._dequeue()
+            if state is None:
+                break
+            worker = self._next_idle()
+            if worker is None:
+                # No live idle worker after all; requeue for the next
+                # ready announcement.
+                self._enqueue(state)
+                break
+            self._assign(worker, state, speculative=False)
+        self._maybe_speculate()
+
+    def _assign(
+        self, worker: _WorkerConn, state: _JobState, speculative: bool
+    ) -> None:
+        worker.current = state
+        state.assignees.append(worker)
+        state.started[worker] = self._now()
+        self.stats.assignments += 1
+        self.stats.per_worker[worker.name] = (
+            self.stats.per_worker.get(worker.name, 0) + 1
+        )
+        if speculative:
+            state.speculated = True
+            state.speculative.add(worker)
+            self.stats.speculations += 1
+        self._spawn(self._send_assign(worker, state))
+
+    def _speculation_cutoff(self) -> Optional[float]:
+        """Current straggler age threshold (None = not speculating yet)."""
+        if not self.speculate:
+            return None
+        if self.speculation_threshold is not None:
+            return self.speculation_threshold
+        if len(self._durations) < self.speculation_min_samples:
+            return None
+        ordered = sorted(self._durations)
+        index = min(
+            len(ordered) - 1, int(self.speculation_quantile * len(ordered))
+        )
+        # Never speculate faster than the liveness machinery can tell a
+        # straggler from a death.
+        return max(ordered[index] * self.speculation_factor,
+                   self.heartbeat_interval)
+
+    def _maybe_speculate(self) -> None:
+        """Duplicate straggler jobs onto idle workers (first answer wins).
+
+        Only runs when fresh work is drained (the pump calls this after
+        emptying the queues) — speculation consumes *spare* capacity,
+        never capacity a queued job is waiting for.
+        """
+        if not self._idle or not self._outstanding:
+            return
+        cutoff = self._speculation_cutoff()
+        if cutoff is None:
+            return
+        now = self._now()
+        candidates: List[Tuple[float, _JobState]] = []
+        for state in self._outstanding.values():
+            if state.speculated or len(state.assignees) != 1:
                 continue
-            state = self._queue.popleft()
-            if state.job.job_id not in self._outstanding:
-                # Completed by a late duplicate while queued; put the
-                # worker back for the next job.
-                self._idle.appendleft(worker)
+            worker = state.assignees[0]
+            if worker.retired:
                 continue
-            worker.current = state
-            state.worker = worker
-            self.stats.assignments += 1
-            self.stats.per_worker[worker.name] = (
-                self.stats.per_worker.get(worker.name, 0) + 1
-            )
-            self._spawn(self._send_assign(worker, state))
+            age = now - state.started.get(worker, now)
+            if age > cutoff:
+                candidates.append((age, state))
+        candidates.sort(key=lambda pair: -pair[0])  # oldest stragglers first
+        for _, state in candidates:
+            worker = self._next_idle()
+            if worker is None:
+                return
+            self._assign(worker, state, speculative=True)
 
     async def _send_assign(self, worker: _WorkerConn, state: _JobState) -> None:
         try:
@@ -494,24 +704,42 @@ class ShardDispatcher:
         except (ConnectionError, OSError):
             self._retire(worker, "connection lost during assignment")
 
-    def _requeue(self, state: _JobState, reason: str) -> None:
-        """Put a job back on the queue after a worker failed it."""
-        if state.job.job_id not in self._outstanding:
-            return  # already answered (late duplicate won the race)
-        state.worker = None
+    def _job_failed(
+        self, state: _JobState, worker: Optional[_WorkerConn], reason: str
+    ) -> None:
+        """One assignee failed a job; requeue once no assignee is left."""
+        if worker is not None:
+            if worker in state.assignees:
+                state.assignees.remove(worker)
+            state.started.pop(worker, None)
+            state.speculative.discard(worker)
+        if self._outstanding.get(state.job.job_id) is not state:
+            return  # already answered (a duplicate won the race)
+        if any(not w.retired for w in state.assignees):
+            return  # the speculation partner is still computing it
+        state.assignees.clear()
         state.attempts += 1
         if state.attempts > self.max_retries:
             self.stats.failures += 1
             self._outstanding.pop(state.job.job_id, None)
-            if self._run is not None:
-                self._run.fail(DispatchError(
-                    f"job {state.job.job_id} failed after "
-                    f"{state.attempts} attempts: {reason}"
-                ))
+            state.run.fail(DispatchError(
+                f"job {state.job.job_id} failed after "
+                f"{state.attempts} attempts: {reason}"
+            ))
+            self._purge_run(state.run)
             return
         self.stats.retries += 1
-        self._queue.append(state)
+        state.speculated = False  # the fresh attempt may speculate again
+        self._enqueue(state)
         self._pump()
+
+    def _purge_run(self, run: _Run) -> None:
+        """Forget a finished run's jobs (queued heap entries go stale
+        and are skipped at dequeue)."""
+        for job_id in run.job_ids:
+            state = self._outstanding.get(job_id)
+            if state is not None and state.run is run:
+                del self._outstanding[job_id]
 
     def _retire(
         self, worker: _WorkerConn, reason: str, count_lost: bool = True
@@ -530,13 +758,25 @@ class ShardDispatcher:
         except Exception:  # pragma: no cover - transport teardown
             pass
         if current is not None:
-            self._requeue(current, f"worker {worker.name!r} {reason}")
+            self._job_failed(current, worker, f"worker {worker.name!r} {reason}")
 
-    def _complete(self, job_id: str, value: Any, cached: bool) -> None:
+    def _complete(
+        self, job_id: str, value: Any, cached: bool,
+        worker: Optional[_WorkerConn] = None,
+    ) -> None:
         """Accept one result; duplicates of answered jobs are dropped."""
         state = self._outstanding.pop(job_id, None)
         if state is None:
             return
+        if worker is not None:
+            started = state.started.get(worker)
+            if started is not None and not cached:
+                # Worker-cache answers are near-instant; they would drag
+                # the straggler baseline toward zero and cause useless
+                # (if harmless) speculation storms.
+                self._durations.append(self._now() - started)
+            if worker in state.speculative:
+                self.stats.speculative_wins += 1
         self.stats.completed += 1
         if cached:
             self.stats.worker_cache_hits += 1
@@ -547,8 +787,37 @@ class ShardDispatcher:
                 # own store too: a worker's store may be a private
                 # directory that never reaches the shared remote tier.
                 self._spawn(self._persist(state.job, value))
-        if self._run is not None:
-            self._run.accept(state.position, value)
+        state.run.accept(state.position, value)
+
+    def queue_snapshot(self) -> Dict[str, Any]:
+        """Live queue depths: total, in-flight, per job kind, per client.
+
+        This — exposed on the ``stats`` probe — is the autoscaling
+        hook: sustained ``depth`` with zero idle capacity means the
+        fleet is too small, nonzero speculation with an empty queue
+        means it is unbalanced.
+        """
+        per_kind: Dict[str, int] = {}
+        per_client: Dict[str, int] = {}
+        depth = 0
+        for client, heap in self._queues.items():
+            for _, _, state in heap:
+                if self._outstanding.get(state.job.job_id) is not state:
+                    continue  # stale entry
+                if state.assignees:
+                    continue
+                depth += 1
+                per_kind[state.job.kind] = per_kind.get(state.job.kind, 0) + 1
+                per_client[client] = per_client.get(client, 0) + 1
+        inflight = sum(
+            1 for state in self._outstanding.values() if state.assignees
+        )
+        return {
+            "depth": depth,
+            "inflight": inflight,
+            "per_kind": {k: per_kind[k] for k in sorted(per_kind)},
+            "per_client": {c: per_client[c] for c in sorted(per_client)},
+        }
 
     async def _persist(self, job: ShardJob, value: Any) -> None:
         """Store one computed result off-loop (failures degrade caching
@@ -563,7 +832,8 @@ class ShardDispatcher:
             pass
 
     async def _monitor(self) -> None:
-        """Heartbeat watchdog: retire workers that went silent."""
+        """Heartbeat watchdog: retire silent workers, launch speculation
+        for stragglers that aged past the cutoff since the last event."""
         loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(self.heartbeat_interval)
@@ -574,6 +844,7 @@ class ShardDispatcher:
                         worker,
                         f"missed heartbeats for {self.heartbeat_timeout:.1f}s",
                     )
+            self._maybe_speculate()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -614,6 +885,15 @@ class ShardDispatcher:
 
                 if kind == "stats":
                     stats_doc = self.stats.to_dict()
+                    # Live scheduling state rides along with the
+                    # lifetime counters: queue depths (total / per job
+                    # kind / per client) and the current speculation
+                    # cutoff — the autoscaling signals.
+                    stats_doc["queues"] = self.queue_snapshot()
+                    stats_doc["speculation"] = {
+                        "enabled": self.speculate,
+                        "cutoff": self._speculation_cutoff(),
+                    }
                     if self.store is not None:
                         # Per-tier hit/miss/byte/latency/error counters
                         # (see docs/caching.md) ride along with the
@@ -658,11 +938,14 @@ class ShardDispatcher:
                     self._idle.append(worker)
                     self._pump()
                 elif kind == "result":
-                    worker.current = None
+                    state, worker.current = worker.current, None
+                    if state is not None and worker in state.assignees:
+                        state.assignees.remove(worker)
                     self._complete(
                         str(message.get("job_id")),
                         message.get("value"),
                         bool(message.get("cached")),
+                        worker,
                     )
                 elif kind == "error":
                     # A worker holds one job at a time, so whatever it
@@ -673,7 +956,7 @@ class ShardDispatcher:
                     state, worker.current = worker.current, None
                     detail = str(message.get("error", "worker error"))
                     if state is not None:
-                        self._requeue(state, detail)
+                        self._job_failed(state, worker, detail)
                 elif kind == "shutdown":
                     # Worker announcing a clean exit (drained --max-jobs,
                     # operator stop): not a loss, nothing in flight.

@@ -9,12 +9,13 @@ accuracy on the evaluation set, and restore the clean parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fault.injector import WeightFaultInjector
+from repro.fault.model import BitErrorRates
 from repro.nn.metrics import accuracy
 from repro.nn.network import FeedforwardANN
 from repro.nn.quantize import QuantizedWeights
@@ -57,6 +58,27 @@ class FaultEvaluation:
             f"drop {100 * self.accuracy_drop:.2f}%, trials {self.n_trials})"
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; exact float round-trip via ``from_dict``."""
+        return {
+            "baseline_accuracy": float(self.baseline_accuracy),
+            "trial_accuracies": [float(a) for a in self.trial_accuracies],
+            "expected_flips": float(self.expected_flips),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultEvaluation":
+        missing = {"baseline_accuracy", "trial_accuracies", "expected_flips"} - set(doc)
+        if missing:
+            raise ConfigurationError(
+                f"FaultEvaluation document missing fields: {sorted(missing)}"
+            )
+        return cls(
+            baseline_accuracy=float(doc["baseline_accuracy"]),
+            trial_accuracies=tuple(float(a) for a in doc["trial_accuracies"]),
+            expected_flips=float(doc["expected_flips"]),
+        )
+
 
 @dataclass(frozen=True)
 class FaultTrialSpec:
@@ -71,6 +93,46 @@ class FaultTrialSpec:
     injector: Optional[WeightFaultInjector]
     n_trials: int = 5
     seed: SeedLike = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form for distributed `fault_block` jobs.
+
+        The injector serializes as its per-layer ``BitErrorRates``
+        (``rates: None`` means baseline-only).  The seed must already be
+        resolved to an integer or ``None`` so the serialized spec is a
+        pure function of the trial streams it produces.
+        """
+        if not (self.seed is None or isinstance(self.seed, int)):
+            raise ConfigurationError(
+                "FaultTrialSpec.seed must be an int or None to serialize "
+                f"(got {type(self.seed)!r}); resolve the seed first"
+            )
+        rates = (
+            None
+            if self.injector is None
+            else [r.to_dict() for r in self.injector.layer_rates]
+        )
+        return {"rates": rates, "n_trials": int(self.n_trials), "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultTrialSpec":
+        missing = {"rates", "n_trials", "seed"} - set(doc)
+        if missing:
+            raise ConfigurationError(
+                f"FaultTrialSpec document missing fields: {sorted(missing)}"
+            )
+        rates = doc["rates"]
+        injector = (
+            None
+            if rates is None
+            else WeightFaultInjector([BitErrorRates.from_dict(r) for r in rates])
+        )
+        seed = doc["seed"]
+        if not (seed is None or isinstance(seed, int)):
+            raise ConfigurationError(
+                f"FaultTrialSpec seed must be an int or None, got {type(seed)!r}"
+            )
+        return cls(injector=injector, n_trials=int(doc["n_trials"]), seed=seed)
 
 
 def evaluate_many_under_faults(

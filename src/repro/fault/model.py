@@ -18,6 +18,7 @@ Following the paper's modelling assumptions (Sec. V):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, Mapping
 
 import numpy as np
 
@@ -72,6 +73,41 @@ class BitErrorRates:
             msb_in_8t=self.msb_in_8t,
             p_read=np.minimum(self.p_read * factor, 1.0),
             p_write=np.minimum(self.p_write * factor, 1.0),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; ``from_dict`` round-trips it bit-exactly.
+
+        Probabilities survive the trip unchanged because Python floats
+        serialize via shortest round-tripping repr — the distributed
+        job specs (:mod:`repro.distributed.jobs`) rely on this to make
+        the wire form double as the cache identity.
+        """
+        return {
+            "vdd": self.vdd,
+            "n_bits": self.n_bits,
+            "msb_in_8t": self.msb_in_8t,
+            "p_read": [float(p) for p in self.p_read],
+            "p_write": [float(p) for p in self.p_write],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "BitErrorRates":
+        if not isinstance(doc, Mapping):
+            raise ConfigurationError(
+                f"BitErrorRates document must be a mapping, got {type(doc)!r}"
+            )
+        missing = {"vdd", "n_bits", "msb_in_8t", "p_read", "p_write"} - set(doc)
+        if missing:
+            raise ConfigurationError(
+                f"BitErrorRates document missing fields: {sorted(missing)}"
+            )
+        return cls(
+            vdd=float(doc["vdd"]),
+            n_bits=int(doc["n_bits"]),
+            msb_in_8t=int(doc["msb_in_8t"]),
+            p_read=np.asarray(doc["p_read"], dtype=float),
+            p_write=np.asarray(doc["p_write"], dtype=float),
         )
 
 

@@ -328,20 +328,24 @@ def request_stats(host: str, port: int, timeout: float = 10.0) -> Dict[str, Any]
 def format_stats(stats: Dict[str, Any], indent: int = 0) -> str:
     """Aligned ``key : value`` rendering of one stats probe response.
 
-    Nested objects — the per-tier ``store`` block a tiered cache adds —
-    render as indented sections, so one probe shows scheduling counters
-    and cache-tier counters in a single readable report.
+    Nested objects — the per-tier ``store`` block a tiered cache adds,
+    or the dispatcher's per-kind queue depths — render as indented
+    sections, so one probe shows scheduling counters and cache-tier
+    counters in a single readable report.  Keys sort by their string
+    form at every level, so the rendering is deterministic even when a
+    probe mixes key types.
     """
     scalars = {k: v for k, v in stats.items() if not isinstance(v, dict)}
     nested = {k: v for k, v in stats.items() if isinstance(v, dict)}
     pad = " " * indent
     lines: List[str] = []
     if scalars:
-        width = max(len(key) for key in scalars)
+        width = max(len(str(key)) for key in scalars)
         lines.extend(
-            f"{pad}{key:<{width}s} : {scalars[key]}" for key in sorted(scalars)
+            f"{pad}{str(key):<{width}s} : {scalars[key]}"
+            for key in sorted(scalars, key=str)
         )
-    for key in sorted(nested):
+    for key in sorted(nested, key=str):
         lines.append(f"{pad}{key}:")
         lines.append(format_stats(nested[key], indent=indent + 2))
     return "\n".join(lines)

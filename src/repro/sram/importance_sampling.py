@@ -213,11 +213,16 @@ class ImportanceSampler:
         )
 
     # ------------------------------------------------------------------
-    def _point_payload(
+    def point_payload(
         self, vdd: float, failure_type: FailureType, n_samples: int,
         seed: int, max_shift_sigma: float,
     ) -> Dict[str, Any]:
-        """Cache address of one importance-sampled estimate."""
+        """Cache address of one importance-sampled estimate.
+
+        Also the wire spec of a distributed ``is_shard`` job
+        (:func:`repro.distributed.jobs.is_shard_jobs`) — the spec *is*
+        the address, so fleets and local sweeps dedupe each other.
+        """
         from repro.kernels import payload_fields
 
         payload = {
@@ -250,20 +255,39 @@ class ImportanceSampler:
         max_shift_sigma: float = 12.0,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        dispatcher: Optional[Any] = None,
     ) -> List[ImportanceSamplingResult]:
         """Importance-sampled estimates across a voltage sweep.
 
         Each point derives its own seed from the (once-resolved) base
         seed and the voltage, so the sweep is bit-identical for any
         ``jobs`` count; cached points skip recomputation entirely.
+
+        ``dispatcher`` (a started
+        :class:`~repro.distributed.dispatcher.ShardDispatcher`) farms
+        the points to a worker fleet as ``is_shard`` jobs instead of
+        computing locally — an execution knob like ``jobs``: the
+        numbers cannot change, and the fleet reads/writes the same
+        ``is`` store addresses a cached local sweep uses.
         """
+        if dispatcher is not None:
+            from repro.distributed.jobs import is_shard_jobs
+
+            job_list = is_shard_jobs(
+                self, [float(v) for v in vdds],
+                failure_type=failure_type, n_samples=n_samples,
+                seed=seed, max_shift_sigma=max_shift_sigma,
+            )
+            values = dispatcher.dispatch(job_list)
+            return [ImportanceSamplingResult.from_dict(v) for v in values]
+
         base_seed = resolve_seed(seed)
         results: Dict[int, ImportanceSamplingResult] = {}
         missing: List[Tuple[int, float]] = []
         for i, vdd in enumerate(vdds):
             hit = None
             if cache is not None:
-                hit = cache.get("is", self._point_payload(
+                hit = cache.get("is", self.point_payload(
                     vdd, failure_type, n_samples, base_seed, max_shift_sigma
                 ))
             if hit is not None:
@@ -282,8 +306,8 @@ class ImportanceSampler:
                 if cache is not None:
                     cache.put(
                         "is",
-                        self._point_payload(vdd, failure_type, n_samples,
-                                            base_seed, max_shift_sigma),
+                        self.point_payload(vdd, failure_type, n_samples,
+                                           base_seed, max_shift_sigma),
                         result.to_dict(),
                     )
         return [results[i] for i in range(len(results))]

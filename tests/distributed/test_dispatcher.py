@@ -240,3 +240,161 @@ class TestDispatcherProtocol:
             merged = MarginTally.merge(values)
             assert merged.n_samples == dist_analyzer.n_samples
         worker.join()
+
+
+def margin_jobs(analyzer, shards=3):
+    from repro.distributed import margin_tally_jobs
+
+    resolved = analyzer.resolved()
+    return margin_tally_jobs(resolved, VDD, resolved.shard_plan(shards=shards))
+
+
+class TestScheduling:
+    """Per-client priority queues, fair dequeue and queue observability."""
+
+    @staticmethod
+    def _await_depth(dispatcher, depth, timeout=10.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while dispatcher.queue_snapshot()["depth"] < depth:
+            assert time.monotonic() < deadline, "jobs never queued"
+            time.sleep(0.01)
+
+    def test_priority_orders_assignments_within_a_client(
+        self, dist_analyzer, store_dir
+    ):
+        """Jobs queued before any worker exists drain strictly by
+        (priority, submit order) once a lone worker appears."""
+        import threading
+
+        jobs = margin_jobs(dist_analyzer, shards=4)
+        order = []
+        lock = threading.Lock()
+        with make_dispatcher(store_dir, speculate=False) as dispatcher:
+            host, port = dispatcher.start()
+
+            def submit(job, priority):
+                dispatcher.dispatch([job], priority=priority, timeout=60)
+                with lock:
+                    order.append(job.job_id)
+
+            threads = [
+                threading.Thread(target=submit, args=(job, priority))
+                for job, priority in zip(jobs, [5, 0, 5, 0])
+            ]
+            for thread in threads:
+                thread.start()
+            # All four runs queued (no worker yet): observable depths.
+            self._await_depth(dispatcher, 4)
+            snapshot = dispatcher.queue_snapshot()
+            assert snapshot["depth"] == 4
+            assert snapshot["per_kind"] == {"margin_tally": 4}
+            assert snapshot["per_client"] == {"default": 4}
+            worker = WorkerThread(host, port, store_dir, name="solo")
+            for thread in threads:
+                thread.join(60)
+            assert dispatcher.stats.per_worker == {"solo": 4}
+            assert dispatcher.queue_snapshot()["depth"] == 0
+            # The two priority-0 jobs completed before the priority-5s.
+            assert set(order[:2]) == {jobs[1].job_id, jobs[3].job_id}
+        worker.join()
+
+    def test_concurrent_clients_share_the_fleet(self, dist_analyzer, store_dir):
+        """Two client threads dispatching concurrently both finish, and
+        their runs are tracked under their own client names."""
+        import threading
+
+        jobs_a = margin_jobs(dist_analyzer, shards=3)
+        jobs_b = margin_jobs(dist_analyzer, shards=2)
+        with make_dispatcher(store_dir) as dispatcher:
+            host, port = dispatcher.start()
+            workers = [
+                WorkerThread(host, port, store_dir, name=f"w{i}")
+                for i in range(2)
+            ]
+            dispatcher.await_workers(2, timeout=10)
+            out = {}
+
+            def run(name, jobs):
+                out[name] = dispatcher.dispatch(
+                    jobs, decode=MarginTally.from_dict,
+                    merge=MarginTally.merge, client=name, timeout=60,
+                )
+
+            threads = [
+                threading.Thread(target=run, args=("alice", jobs_a)),
+                threading.Thread(target=run, args=("bob", jobs_b)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+            assert out["alice"].n_samples == dist_analyzer.n_samples
+            assert out["bob"].n_samples == dist_analyzer.n_samples
+            assert dispatcher.stats.completed == 5
+        for worker in workers:
+            worker.join()
+
+    def test_same_job_ids_in_concurrent_runs_rejected(
+        self, dist_analyzer, store_dir
+    ):
+        """A job id may not be outstanding in two runs at once (results
+        could not be told apart); sequential reuse is fine."""
+        import threading
+
+        jobs = margin_jobs(dist_analyzer, shards=2)
+        with make_dispatcher(store_dir=None) as dispatcher:
+            host, port = dispatcher.start()
+            errors = []
+
+            def first():
+                try:
+                    dispatcher.dispatch(jobs, timeout=60)
+                except DispatchError as exc:
+                    errors.append(exc)
+
+            thread = threading.Thread(target=first)
+            thread.start()
+            self._await_depth(dispatcher, 2)
+            with pytest.raises(DispatchError, match="already outstanding"):
+                dispatcher.dispatch(jobs, timeout=60)
+            worker = WorkerThread(host, port, store_dir=None)
+            thread.join(60)
+            assert not errors
+            # The ids are free again: a sequential rerun is legal.
+            dispatcher.dispatch(jobs, timeout=60)
+        worker.join()
+
+    def test_stats_probe_reports_queues_and_speculation(
+        self, dist_analyzer, store_dir
+    ):
+        from repro.serving.server import format_stats
+
+        with make_dispatcher(store_dir, speculation_threshold=9.0) as dispatcher:
+            host, port = dispatcher.start()
+            worker = WorkerThread(host, port, store_dir)
+            dispatcher.await_workers(1, timeout=10)
+            dist_analyzer.analyze_sharded(VDD, shards=2, dispatcher=dispatcher)
+            stats = request_stats(host, port)
+            assert stats["queues"]["depth"] == 0
+            assert stats["queues"]["inflight"] == 0
+            assert stats["queues"]["per_kind"] == {}
+            assert stats["speculation"] == {"enabled": True, "cutoff": 9.0}
+            # The nested blocks render deterministically (sorted keys).
+            text = format_stats(stats)
+            assert text == format_stats(dict(reversed(list(stats.items()))))
+            assert "queues:" in text and "speculation:" in text
+        worker.join()
+
+    def test_speculation_knobs_validated(self):
+        from repro.distributed import ShardDispatcher
+
+        for kwargs in [
+            dict(speculation_threshold=0.0),
+            dict(speculation_quantile=1.0),
+            dict(speculation_factor=0.5),
+            dict(speculation_min_samples=0),
+        ]:
+            with pytest.raises(DispatchError):
+                ShardDispatcher(**kwargs)
