@@ -1,0 +1,167 @@
+"""Validate the benchmark JSON artifacts that CI uploads.
+
+``python -m json.tool`` only proves an artifact parses; a benchmark
+whose ``emit(..., data=...)`` payload silently lost a column would
+still pass and quietly break the downstream consumers (plotting, the
+perf dashboards fed from the CI uploads).  This checker pins the
+contract instead: every document must carry the standard ``emit``
+metadata envelope (see ``benchmarks/conftest.py``) and the per-artifact
+``data`` keys the consumers read.
+
+Run it after the perf-smoke benchmarks::
+
+    python benchmarks/check_artifacts.py [results_dir]
+
+Exits nonzero with one line per violation.  Deliberately *not* named
+``bench_*.py``: it is a checker of benchmark outputs, not a benchmark,
+and must not appear in the reproduction map.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import os
+import sys
+from typing import Any, Dict, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Keys benchmarks/conftest.py `emit` stamps on every JSON document.
+ENVELOPE_KEYS = {
+    "name", "version", "generated_at", "n_samples", "profile", "data",
+}
+
+# Per-artifact `data` contracts: the keys downstream consumers read.
+ROW_KEYS = {
+    "margin_kernels": {
+        "cell", "block_samples", "reference_samples_per_sec",
+        "fused_samples_per_sec", "speedup",
+    },
+    "tiered_cache": {
+        "scenario", "shards", "n_samples", "seconds", "samples_per_sec",
+    },
+}
+DISPATCH_MIXED_KEYS = {
+    "fleet_workers", "concurrent_wall_seconds", "kinds",
+    "speculation", "dispatcher_stats",
+}
+DISPATCH_KIND_KEYS = {"kind", "jobs", "wall_seconds", "jobs_per_second"}
+DISPATCH_SPECULATION_KEYS = {
+    "jobs", "stall_seconds", "cutoff_seconds", "speculative_wins",
+    "disabled_wall_seconds", "enabled_wall_seconds", "savings_seconds",
+}
+DISPATCH_STATS_KEYS = {
+    "jobs", "completed", "assignments", "retries",
+    "speculations", "speculative_wins", "workers_lost",
+}
+
+
+def _load(results_dir: str, name: str, errors: List[str]) -> Any:
+    path = os.path.join(results_dir, f"{name}.json")
+    if not os.path.isfile(path):
+        errors.append(f"{name}: missing artifact {path}")
+        return None
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        errors.append(f"{name}: unreadable JSON ({exc})")
+        return None
+
+
+def _check_envelope(name: str, doc: Any, errors: List[str]) -> Any:
+    """Check the shared `emit` metadata; returns the data payload."""
+    if not isinstance(doc, dict):
+        errors.append(f"{name}: document is {type(doc).__name__}, not object")
+        return None
+    missing = ENVELOPE_KEYS - doc.keys()
+    if missing:
+        errors.append(f"{name}: envelope missing {sorted(missing)}")
+        return None
+    if doc["name"] != name:
+        errors.append(f"{name}: envelope name is {doc['name']!r}")
+    if not isinstance(doc["n_samples"], int) or doc["n_samples"] <= 0:
+        errors.append(f"{name}: n_samples must be a positive int, "
+                      f"got {doc['n_samples']!r}")
+    return doc["data"]
+
+
+def _check_rows(name: str, data: Any, keys: set, errors: List[str]) -> None:
+    if not isinstance(data, list) or not data:
+        errors.append(f"{name}: data must be a non-empty list of rows")
+        return
+    for i, row in enumerate(data):
+        if not isinstance(row, dict):
+            errors.append(f"{name}: row {i} is not an object")
+            continue
+        missing = keys - row.keys()
+        if missing:
+            errors.append(f"{name}: row {i} missing {sorted(missing)}")
+
+
+def _check_keys(name: str, label: str, doc: Any, keys: set,
+                errors: List[str]) -> bool:
+    if not isinstance(doc, dict):
+        errors.append(f"{name}: {label} is not an object")
+        return False
+    missing = keys - doc.keys()
+    if missing:
+        errors.append(f"{name}: {label} missing {sorted(missing)}")
+        return False
+    return True
+
+
+def _check_dispatch_mixed(data: Any, errors: List[str]) -> None:
+    name = "dispatch_mixed"
+    if not _check_keys(name, "data", data, DISPATCH_MIXED_KEYS, errors):
+        return
+    kinds = data["kinds"]
+    if not isinstance(kinds, list) or not kinds:
+        errors.append(f"{name}: data.kinds must be a non-empty list")
+    else:
+        for i, row in enumerate(kinds):
+            _check_keys(name, f"kinds[{i}]", row, DISPATCH_KIND_KEYS, errors)
+    _check_keys(name, "speculation", data["speculation"],
+                DISPATCH_SPECULATION_KEYS, errors)
+    stats = data["dispatcher_stats"]
+    if _check_keys(name, "dispatcher_stats", stats,
+                   DISPATCH_STATS_KEYS, errors):
+        for key in DISPATCH_STATS_KEYS:
+            value = stats[key]
+            if (not isinstance(value, numbers.Integral)
+                    or isinstance(value, bool) or value < 0):
+                errors.append(f"{name}: dispatcher_stats.{key} must be a "
+                              f"non-negative integer, got {value!r}")
+
+
+def check_artifacts(results_dir: str = RESULTS_DIR) -> List[str]:
+    """Return a list of violations (empty means every contract holds)."""
+    errors: List[str] = []
+    docs: Dict[str, Any] = {}
+    for name in ("margin_kernels", "tiered_cache", "dispatch_mixed"):
+        doc = _load(results_dir, name, errors)
+        if doc is not None:
+            docs[name] = _check_envelope(name, doc, errors)
+    for name, keys in ROW_KEYS.items():
+        if name in docs and docs[name] is not None:
+            _check_rows(name, docs[name], keys, errors)
+    if docs.get("dispatch_mixed") is not None:
+        _check_dispatch_mixed(docs["dispatch_mixed"], errors)
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    results_dir = argv[1] if len(argv) > 1 else RESULTS_DIR
+    errors = check_artifacts(results_dir)
+    for line in errors:
+        print(f"FAIL {line}")
+    if errors:
+        return 1
+    print(f"artifact check OK: margin_kernels, tiered_cache, "
+          f"dispatch_mixed under {results_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -286,6 +286,94 @@ def cmd_worker(args) -> int:
     )
 
 
+def cmd_autoscale(args) -> int:
+    import signal
+    import threading
+
+    from repro.distributed import AutoscaleController, AutoscalePolicy
+
+    host, port = _parse_endpoint(args.connect, "--connect")
+    policy = AutoscalePolicy(
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        backlog_per_worker=args.backlog_per_worker,
+        target_drain_seconds=args.target_drain,
+        drain_max_jobs=args.drain_max_jobs,
+        poll_interval=args.poll,
+    )
+    controller = AutoscaleController(
+        host, port, policy=policy, cache_dir=args.cache_dir,
+        store_url=args.store_url, lru_entries=args.lru_entries,
+        lru_bytes=args.lru_bytes, ttl=args.ttl,
+    )
+    print(f"autoscaling workers for {host}:{port} "
+          f"(min {policy.min_workers}, max {policy.max_workers}, "
+          f"drain after "
+          f"{policy.drain_max_jobs if policy.drain_max_jobs else 'never'} "
+          f"job(s)); Ctrl-C to stop")
+    # SIGTERM (a supervisor's shutdown) must drain the pool, not orphan
+    # it; routing SIGINT through the same stop event also keeps Ctrl-C
+    # working when the controller runs backgrounded with SIGINT ignored.
+    stop = threading.Event()
+    previous = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous.append((sig, signal.signal(
+                sig, lambda signum, frame: stop.set()
+            )))
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        controller.run(stop=stop)
+    except KeyboardInterrupt:
+        controller.stop()
+    finally:
+        for sig, handler in previous:
+            signal.signal(sig, handler)
+    print(f"autoscaler stopped: {controller.spawned_total} spawned, "
+          f"{controller.crash_restarts} crash(es), "
+          f"{controller.stats_errors} stats error(s)")
+    return 0
+
+
+def _run_dag(args, dispatcher) -> None:
+    """The ``dispatch --dag`` body: the paper pipeline as one DAG."""
+    from repro.distributed.dag import paper_pipeline_dag
+    from repro.distributed.jobs import benchmark_model_spec
+    from repro.rng import DEFAULT_SEED
+    from repro.sram import DEFAULT_VDD_GRID
+
+    vdds = tuple(args.vdd) if args.vdd else DEFAULT_VDD_GRID
+    dag = paper_pipeline_dag(
+        benchmark_model_spec(),
+        vdds=vdds,
+        technology=get_technology(args.tech),
+        n_samples=args.samples,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        block_samples=args.block_samples,
+        shards=args.shards,
+        max_shard_samples=args.max_shard_samples,
+        backend=args.backend,
+        n_trials=args.trials,
+        eval_seed=args.seed,
+    )
+    print(f"DAG: {len(dag.names)} nodes ({', '.join(dag.names)})")
+    results = dag.run(dispatcher)
+    rows = []
+    for doc in results["nn-fault"]:
+        ev = doc["evaluation"]
+        accs = ev["trial_accuracies"]
+        rows.append([
+            doc["label"], doc["vdd"],
+            f"{sum(accs) / len(accs):.4f}",
+            f"{ev['baseline_accuracy']:.4f}",
+            f"{ev['expected_flips']:.1f}",
+        ])
+    print(format_table(
+        ["point", "VDD", "mean acc", "baseline", "E[flips]"], rows,
+    ))
+
+
 def cmd_dispatch(args) -> int:
     from repro.distributed import DirectoryStore, ShardDispatcher
     from repro.serving.server import format_stats, request_stats
@@ -315,7 +403,9 @@ def cmd_dispatch(args) -> int:
               f"(store {dispatcher.store.describe()}); "
               f"waiting for {args.min_workers} worker(s)")
         dispatcher.await_workers(args.min_workers)
-        if args.workload == "is":
+        if args.dag:
+            _run_dag(args, dispatcher)
+        elif args.workload == "is":
             sampler = ImportanceSampler(cell, backend=args.backend)
             results = sampler.estimate_sweep(
                 vdds, n_samples=args.samples, seed=args.seed,
@@ -517,6 +607,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "failure margins, sharded) or 'is' (one "
                         "importance-sampled job per voltage point); "
                         "default margin")
+    p.add_argument("--dag", action="store_true",
+                   help="run the full paper pipeline as one cross-kind "
+                        "DAG instead of --workload: margin shards (both "
+                        "cells, every --vdd) -> rate tables -> NN fault "
+                        "points, all through this dispatcher")
+    p.add_argument("--trials", type=int, default=5, metavar="T",
+                   help="with --dag: fault-injection trials per NN "
+                        "accuracy point (default 5)")
     p.add_argument("--speculation-threshold", type=float, default=None,
                    metavar="S",
                    help="re-dispatch a job still running after S seconds "
@@ -550,6 +648,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "counters and exit (starts nothing)")
     _add_store_options(p)
     p.set_defaults(func=cmd_dispatch)
+
+    p = sub.add_parser(
+        "autoscale",
+        help="autoscaling controller: poll a dispatcher's stats probe "
+             "and size a local worker pool to its backlog",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="dispatcher endpoint to poll (and for spawned "
+                        "workers to register with)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared cache-store directory forwarded to every "
+                        "spawned worker (see worker --cache-dir)")
+    p.add_argument("--min", dest="min_workers", type=int, default=1,
+                   metavar="N", help="workers to keep even when idle "
+                                     "(default 1)")
+    p.add_argument("--max", dest="max_workers", type=int, default=4,
+                   metavar="N", help="worker ceiling (default 4)")
+    p.add_argument("--backlog-per-worker", type=int, default=4, metavar="J",
+                   help="queued+in-flight jobs one worker is expected to "
+                        "absorb before another is spawned (default 4)")
+    p.add_argument("--target-drain", type=float, default=30.0, metavar="S",
+                   help="grow the pool when observed compute latency says "
+                        "the backlog needs more than S seconds to drain "
+                        "(default 30)")
+    p.add_argument("--drain-max-jobs", type=int, default=None, metavar="K",
+                   help="spawn workers with --max-jobs K so the pool "
+                        "cycles through clean drains (the scale-down "
+                        "hook; default: workers serve indefinitely)")
+    p.add_argument("--poll", type=float, default=1.0, metavar="S",
+                   help="seconds between stats polls (default 1)")
+    _add_store_options(p)
+    p.set_defaults(func=cmd_autoscale)
 
     p = sub.add_parser(
         "cache",

@@ -37,13 +37,36 @@ The pieces:
   heartbeat-based liveness, retry/reassignment of shards from dead
   workers, per-client priority queues with fair dequeue, speculative
   re-execution of stragglers (first bit-identical answer wins), and
-  streaming merges.
+  streaming merges;
+* :mod:`~repro.distributed.dag` — cross-kind dependencies: a
+  :class:`~repro.distributed.dag.DagRun` of named job/reduce nodes over
+  one dispatcher, and :func:`~repro.distributed.dag.paper_pipeline_dag`
+  (margin shards → rate tables → NN fault points as one DAG);
+* :mod:`~repro.distributed.autoscale` — the
+  :class:`~repro.distributed.autoscale.AutoscaleController` that polls
+  the ``stats`` probe and reconciles a local worker-subprocess pool
+  (spawn on backlog/latency, drain via ``--max-jobs``, crash restarts
+  with backoff).
 
 Deployment topology, failure semantics and the cache-store contract
 are documented in ``docs/distributed.md``; the CLI front-ends are
-``repro-sram dispatch`` and ``repro-sram worker``.
+``repro-sram dispatch``, ``repro-sram worker`` and ``repro-sram
+autoscale``.
 """
 
+from repro.distributed.autoscale import (
+    AutoscaleController,
+    AutoscalePolicy,
+    ScaleEvent,
+    desired_workers,
+)
+from repro.distributed.dag import (
+    DagNode,
+    DagRun,
+    job_node,
+    paper_pipeline_dag,
+    reduce_node,
+)
 from repro.distributed.dispatcher import (
     DispatchError,
     DispatcherStats,
@@ -75,7 +98,11 @@ from repro.distributed.store import CacheStore, DirectoryStore
 from repro.distributed.worker import Worker, run_worker
 
 __all__ = [
+    "AutoscaleController",
+    "AutoscalePolicy",
     "CacheStore",
+    "DagNode",
+    "DagRun",
     "DirectoryStore",
     "DispatchError",
     "DispatcherStats",
@@ -84,18 +111,23 @@ __all__ = [
     "ObjectStoreError",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "ScaleEvent",
     "ShardDispatcher",
     "ShardJob",
     "Worker",
     "analyzer_from_spec",
     "benchmark_model_spec",
     "concat_blocks",
+    "desired_workers",
     "execute_job",
     "fault_block_jobs",
     "is_shard_jobs",
+    "job_node",
     "margin_tally_jobs",
     "model_from_spec",
     "nn_fault_eval_jobs",
+    "paper_pipeline_dag",
+    "reduce_node",
     "register_job_kind",
     "registered_job_kinds",
     "run_worker",

@@ -94,10 +94,13 @@ class DispatcherStats:
     (the dispatcher's own store, no assignment at all),
     ``worker_cache_hits`` (a worker's store lookup) and ``computed``
     (actually executed).  ``retries`` counts reassignments after worker
-    death or failure; ``speculations`` counts duplicate assignments of
-    straggler jobs and ``speculative_wins`` how often the backup answer
-    arrived first; ``per_worker`` maps worker name → assignments, which
-    is how an operator (or the smoke test) sees who did what.
+    death or failure; ``drain_requeues`` counts jobs handed back by a
+    cleanly draining worker (``--max-jobs``) — those requeue without
+    touching the retry budget; ``speculations`` counts duplicate
+    assignments of straggler jobs and ``speculative_wins`` how often
+    the backup answer arrived first; ``per_worker`` maps worker name →
+    assignments, which is how an operator (or the smoke test) sees who
+    did what.
     """
 
     jobs: int = 0
@@ -107,6 +110,7 @@ class DispatcherStats:
     computed: int = 0
     assignments: int = 0
     retries: int = 0
+    drain_requeues: int = 0
     speculations: int = 0
     speculative_wins: int = 0
     failures: int = 0
@@ -733,6 +737,30 @@ class ShardDispatcher:
         self._enqueue(state)
         self._pump()
 
+    def _job_requeued(self, state: _JobState, worker: _WorkerConn) -> None:
+        """A cleanly draining worker handed its job back: requeue it
+        without burning an attempt.
+
+        Unlike :meth:`_job_failed`, nothing went wrong — the worker hit
+        its ``--max-jobs`` drain (or an autoscaler retired it) while an
+        assignment was still in flight.  Counting that against the
+        retry budget would let a rolling drain of a healthy fleet fail
+        a perfectly computable job.
+        """
+        if worker in state.assignees:
+            state.assignees.remove(worker)
+        state.started.pop(worker, None)
+        state.speculative.discard(worker)
+        if self._outstanding.get(state.job.job_id) is not state:
+            return  # already answered
+        if any(not w.retired for w in state.assignees):
+            return  # a speculation partner still holds it
+        state.assignees.clear()
+        self.stats.drain_requeues += 1
+        state.speculated = False
+        self._enqueue(state)
+        self._pump()
+
     def _purge_run(self, run: _Run) -> None:
         """Forget a finished run's jobs (queued heap entries go stale
         and are skipped at dequeue)."""
@@ -742,9 +770,16 @@ class ShardDispatcher:
                 del self._outstanding[job_id]
 
     def _retire(
-        self, worker: _WorkerConn, reason: str, count_lost: bool = True
+        self, worker: _WorkerConn, reason: str, count_lost: bool = True,
+        graceful: bool = False,
     ) -> None:
-        """Drop one worker, requeueing whatever it was computing."""
+        """Drop one worker, requeueing whatever it was computing.
+
+        ``graceful`` marks an announced clean exit (worker ``shutdown``
+        after a ``--max-jobs`` drain): an in-flight job — an ``assign``
+        that crossed the announcement on the wire — requeues via
+        :meth:`_job_requeued` without consuming its retry budget.
+        """
         if worker.retired:
             return
         worker.retired = True
@@ -758,7 +793,12 @@ class ShardDispatcher:
         except Exception:  # pragma: no cover - transport teardown
             pass
         if current is not None:
-            self._job_failed(current, worker, f"worker {worker.name!r} {reason}")
+            if graceful:
+                self._job_requeued(current, worker)
+            else:
+                self._job_failed(
+                    current, worker, f"worker {worker.name!r} {reason}"
+                )
 
     def _complete(
         self, job_id: str, value: Any, cached: bool,
@@ -817,6 +857,25 @@ class ShardDispatcher:
             "inflight": inflight,
             "per_kind": {k: per_kind[k] for k in sorted(per_kind)},
             "per_client": {c: per_client[c] for c in sorted(per_client)},
+        }
+
+    def latency_snapshot(self) -> Dict[str, Any]:
+        """Observed compute-latency summary (assignment → result).
+
+        Worker-cache answers are excluded (see :meth:`_complete`), so
+        the numbers describe genuine compute time.  Exposed on the
+        ``stats`` probe next to :meth:`queue_snapshot` — together they
+        are the autoscaler's sizing signal: *queue depth × mean compute
+        latency* estimates the backlog in seconds.
+        """
+        if not self._durations:
+            return {"samples": 0, "mean": None, "p50": None, "max": None}
+        ordered = sorted(self._durations)
+        return {
+            "samples": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "p50": ordered[len(ordered) // 2],
+            "max": ordered[-1],
         }
 
     async def _persist(self, job: ShardJob, value: Any) -> None:
@@ -890,6 +949,7 @@ class ShardDispatcher:
                     # kind / per client) and the current speculation
                     # cutoff — the autoscaling signals.
                     stats_doc["queues"] = self.queue_snapshot()
+                    stats_doc["latency"] = self.latency_snapshot()
                     stats_doc["speculation"] = {
                         "enabled": self.speculate,
                         "cutoff": self._speculation_cutoff(),
@@ -959,8 +1019,18 @@ class ShardDispatcher:
                         self._job_failed(state, worker, detail)
                 elif kind == "shutdown":
                     # Worker announcing a clean exit (drained --max-jobs,
-                    # operator stop): not a loss, nothing in flight.
-                    self._retire(worker, "clean shutdown", count_lost=False)
+                    # operator stop).  Acknowledge the drain before
+                    # retiring so the worker can tear down its stream in
+                    # order; an assignment that crossed the announcement
+                    # requeues gracefully — no retry burned.
+                    try:
+                        await reply({"type": "shutdown"})
+                    except (ConnectionError, OSError):
+                        pass
+                    self._retire(
+                        worker, "clean shutdown", count_lost=False,
+                        graceful=True,
+                    )
                     worker = None
                     break
                 else:

@@ -325,7 +325,8 @@ register_job_kind("margin_tally", _run_margin_tally)
 
 
 def margin_tally_jobs(
-    analyzer: MonteCarloAnalyzer, vdd: float, plan: ShardPlan
+    analyzer: MonteCarloAnalyzer, vdd: float, plan: ShardPlan,
+    run_id: Optional[str] = None,
 ) -> List[ShardJob]:
     """The job list of one distributed ``analyze_sharded`` voltage point.
 
@@ -335,12 +336,17 @@ def margin_tally_jobs(
     merge consumes — and each job's store address equals the one a local
     :meth:`~repro.sram.montecarlo.MonteCarloAnalyzer.analyze_sharded`
     run would use for the same shard.
+
+    ``run_id`` tags the job ids (``mt-<run_id>-<shard>``); the default
+    is a fresh random tag.  DAG runs pass deterministic node-scoped
+    tags so concurrent nodes get readable, non-clashing ids — the tag
+    never reaches the store address, which is content-only.
     """
     engine: ShardedMonteCarlo[Any] = ShardedMonteCarlo(
         plan, namespace=MARGIN_TALLY_NAMESPACE
     )
     spec = analyzer.cache_payload(vdd)
-    run_id = uuid.uuid4().hex[:12]
+    run_id = run_id or uuid.uuid4().hex[:12]
     return [
         ShardJob(
             job_id=f"mt-{run_id}-{shard.index}",
@@ -445,16 +451,18 @@ def is_shard_jobs(
     n_samples: int = 20000,
     seed: SeedLike = None,
     max_shift_sigma: float = 12.0,
+    run_id: Optional[str] = None,
 ) -> List[ShardJob]:
     """One ``is_shard`` job per voltage point of an IS sweep.
 
     The spec *is* the point's cache payload, so the store address
     matches a local ``estimate_sweep(..., cache=...)`` run bit for bit.
+    ``run_id`` tags the job ids (see :func:`margin_tally_jobs`).
     """
     if not vdds:
         raise ConfigurationError("vdds must be non-empty")
     base_seed = resolve_seed(seed)
-    run_id = uuid.uuid4().hex[:12]
+    run_id = run_id or uuid.uuid4().hex[:12]
     jobs: List[ShardJob] = []
     for i, vdd in enumerate(vdds):
         spec = sampler.point_payload(
@@ -710,6 +718,7 @@ register_job_kind(
 def nn_fault_eval_jobs(
     model_spec: Dict[str, Any],
     points: Sequence[Mapping[str, Any]],
+    run_id: Optional[str] = None,
 ) -> List[ShardJob]:
     """One ``nn_fault_eval`` job per accuracy point.
 
@@ -719,12 +728,13 @@ def nn_fault_eval_jobs(
     ``None``) and ``label`` (default ``point-<i>``).  Injectors
     serialize as their per-layer rate vectors, so workers never run the
     circuit-level Monte Carlo — the dispatcher side extracts rates from
-    its memory architectures once.
+    its memory architectures once.  ``run_id`` tags the job ids (see
+    :func:`margin_tally_jobs`).
     """
     if not points:
         raise ConfigurationError("points must be non-empty")
     _validate_model_spec(model_spec)
-    run_id = uuid.uuid4().hex[:12]
+    run_id = run_id or uuid.uuid4().hex[:12]
     jobs: List[ShardJob] = []
     for i, point in enumerate(points):
         if "vdd" not in point:

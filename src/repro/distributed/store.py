@@ -56,16 +56,21 @@ class DirectoryStore(CacheStore):
         ``./.repro_cache``).
     ttl:
         Optional freshness bound in seconds: entries that have lived
-        their full TTL (file age ``>= ttl``) read as misses.  Expired
-        files stay on disk until ``repro-sram cache compact`` reaps
-        them (see ``docs/caching.md``).
+        their full TTL (file age ``>= ttl``) read as misses, and
+        ``ttl=0`` treats every entry as already expired.  File age is
+        **wall-clock** time (``time.time() - mtime``) — unlike the
+        memory tier's monotonic clock — so a backward clock step can
+        make files look younger than they are; ages are clamped to be
+        non-negative so a future mtime reads as age 0, never as a
+        negative age (see ``docs/caching.md``).  Expired files stay on
+        disk until ``repro-sram cache compact`` reaps them.
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
                  ttl: Optional[float] = None):
         super().__init__()
-        if ttl is not None and ttl <= 0:
-            raise ValueError(f"ttl must be positive, got {ttl}")
+        if ttl is not None and ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
         self.cache = ResultCache(cache_dir=cache_dir)
         self.ttl = None if ttl is None else float(ttl)
 
@@ -74,9 +79,11 @@ class DirectoryStore(CacheStore):
         value = self.cache.get(namespace, payload, ttl=self.ttl)
         if value is None and self.ttl is not None:
             try:
-                age = time.time() - os.path.getmtime(
+                # Clamp like ResultCache.get: a backward wall-clock step
+                # must read as age 0, not a negative age.
+                age = max(0.0, time.time() - os.path.getmtime(
                     self.cache.path(namespace, payload)
-                )
+                ))
                 if age >= self.ttl:
                     self.tier.expirations += 1
             except OSError:

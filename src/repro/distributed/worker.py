@@ -102,35 +102,60 @@ class Worker:
                 "protocol": PROTOCOL_VERSION,
             })
             welcome = await recv_message(reader)
-            if welcome is None or welcome["type"] != "welcome":
+            if welcome is None or welcome.get("type") != "welcome":
                 detail = "" if welcome is None else welcome.get("error", welcome)
                 raise ProtocolError(f"dispatcher rejected registration: {detail}")
-            interval = float(welcome.get("heartbeat_interval", 1.0))
+            raw_interval = welcome.get("heartbeat_interval", 1.0)
+            if (
+                not isinstance(raw_interval, (int, float))
+                or isinstance(raw_interval, bool)
+                or raw_interval <= 0
+            ):
+                # A zero/negative interval would busy-loop the heartbeat
+                # task; a dispatcher announcing one is misconfigured and
+                # must not be served.
+                raise ProtocolError(
+                    f"welcome heartbeat_interval must be a positive "
+                    f"number, got {raw_interval!r}"
+                )
+            interval = float(raw_interval)
             heartbeat_task = asyncio.create_task(
                 self._heartbeats(writer, interval)
             )
             await self._send(writer, {"type": "ready"})
             loop = asyncio.get_running_loop()
-            while True:
-                message = await recv_message(reader)
-                if message is None or message["type"] == "shutdown":
-                    break
-                kind = message["type"]
-                if kind == "assign":
-                    await self._execute(loop, writer, message)
-                    self.jobs_done += 1
-                    if (
-                        self.max_jobs is not None
-                        and self.jobs_done >= self.max_jobs
-                    ):
-                        await self._send(writer, {"type": "shutdown"})
+            try:
+                while True:
+                    message = await recv_message(reader)
+                    # recv_message validates the envelope, but the guard
+                    # stays .get()-based: a malformed dispatcher must
+                    # surface as ProtocolError, never a bare KeyError.
+                    if message is None or message.get("type") == "shutdown":
                         break
-                    await self._send(writer, {"type": "ready"})
-                elif kind == "error":
-                    raise ProtocolError(
-                        f"dispatcher error: {message.get('error')}"
-                    )
-                # Anything else (future protocol additions) is ignored.
+                    kind = message.get("type")
+                    if kind == "assign":
+                        await self._execute(loop, writer, message)
+                        self.jobs_done += 1
+                        if (
+                            self.max_jobs is not None
+                            and self.jobs_done >= self.max_jobs
+                        ):
+                            await self._send(writer, {"type": "shutdown"})
+                            await self._await_drain_ack(reader)
+                            break
+                        await self._send(writer, {"type": "ready"})
+                    elif kind == "error":
+                        raise ProtocolError(
+                            f"dispatcher error: {message.get('error')}"
+                        )
+                    # Anything else (future additions) is ignored.
+            except (ConnectionError, OSError):
+                # The dispatcher went away mid-exchange — e.g. it shut
+                # down while this worker was still computing a job whose
+                # speculation race it had already lost, so the result
+                # send hit a closed stream.  Same meaning as reading
+                # EOF: served until the dispatcher stopped, clean exit.
+                pass
             return self.jobs_done
         finally:
             if heartbeat_task is not None:
@@ -142,6 +167,25 @@ class Worker:
                 pass
 
     # ------------------------------------------------------------------
+    async def _await_drain_ack(self, reader: "asyncio.StreamReader") -> None:
+        """Wait for the dispatcher to acknowledge a drain ``shutdown``.
+
+        An ``assign`` may cross our shutdown announcement on the wire;
+        closing immediately would tear the stream down underneath it.
+        Reading until the dispatcher's ``shutdown`` ack (or EOF) keeps
+        the teardown orderly — the dispatcher requeues any crossed
+        assignment when it processes the announcement, so nothing read
+        here needs executing.
+        """
+        try:
+            while True:
+                ack = await asyncio.wait_for(recv_message(reader), timeout=10)
+                if ack is None or ack.get("type") == "shutdown":
+                    return
+        except (asyncio.TimeoutError, ProtocolError,
+                ConnectionError, OSError):
+            return  # a silent or garbled peer cannot block the drain
+
     async def _execute(
         self,
         loop: asyncio.AbstractEventLoop,
@@ -217,7 +261,11 @@ def run_worker(
     """
     store: CacheStore
     tiered: Optional["TieredStore"] = None
-    if store_url or lru_entries is not None or lru_bytes is not None or ttl:
+    # `ttl is not None`, like the neighbouring checks: a legitimate
+    # ``--ttl 0`` (treat every entry as already expired) must compose
+    # the tiered store, not silently fall through to the plain one.
+    if (store_url or lru_entries is not None or lru_bytes is not None
+            or ttl is not None):
         from repro.runtime.tiering import (
             DEFAULT_LRU_BYTES,
             DEFAULT_LRU_ENTRIES,

@@ -174,13 +174,22 @@ class ResultCache:
         recomputes, and the fresh ``put`` replaces the stale file.
         Expired files are left on disk for :meth:`compact` to reap, so
         a TTL-reading process never races a TTL-less one on deletion.
+
+        File age is **wall-clock** time (``time.time()`` against the
+        file's mtime); a backward clock step therefore rejuvenates
+        entries by the size of the step.  The age is clamped to be
+        non-negative, so a file whose mtime lies in the future reads
+        as age 0 — it expires ``ttl`` seconds after the clock catches
+        up, never "indefinitely later".
         """
         if not self.enabled:
             self.misses += 1
             return None
         path = self.path(namespace, payload)
         try:
-            if ttl is not None and time.time() - os.path.getmtime(path) >= ttl:
+            if ttl is not None and (
+                max(0.0, time.time() - os.path.getmtime(path)) >= ttl
+            ):
                 self.misses += 1
                 return None
             with open(path) as fh:
@@ -325,7 +334,9 @@ class ResultCache:
         reclaimed = 0
         survivors: list = []
         for mtime, size, path in entries:
-            if max_age is not None and now - mtime >= max_age:
+            # Same non-negative clamp as get(): compaction must delete
+            # exactly the entries reads refuse, clock steps included.
+            if max_age is not None and max(0.0, now - mtime) >= max_age:
                 try:
                     os.unlink(path)
                     removed += 1

@@ -181,7 +181,12 @@ class MemoryLRUStore(CacheStore):
     stored at all (it would evict the whole tier for one entry).
 
     ``ttl`` (seconds) expires entries that have lived their full TTL
-    (age ``>= ttl``), matching the directory tier's rule.
+    (age ``>= ttl``), matching the directory tier's rule; ``ttl=0``
+    treats every entry as already expired.  Ages here come from
+    :func:`time.monotonic` — immune to wall-clock steps — whereas the
+    file tiers age entries by wall-clock mtime (see
+    ``docs/caching.md``), so the two tiers can disagree across a clock
+    adjustment; both clamp ages to be non-negative.
 
     Values are stored by reference and returned by reference: callers
     must treat cached values as immutable, which every consumer of the
@@ -200,8 +205,8 @@ class MemoryLRUStore(CacheStore):
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
-        if ttl is not None and ttl <= 0:
-            raise ValueError(f"ttl must be positive, got {ttl}")
+        if ttl is not None and ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
         self.max_entries = int(max_entries)
         self.max_bytes = int(max_bytes)
         self.ttl = None if ttl is None else float(ttl)

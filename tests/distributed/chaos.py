@@ -47,9 +47,22 @@ Chaos actions
 Every action reduces to the same recovery path — recompute is free,
 results are content-addressed and bit-identical — which is exactly
 what the property tests verify.
+
+Scale events
+------------
+Beyond misbehaviour, a schedule can carry :class:`ChaosScaleEvent`
+entries — *when the fleet has completed N jobs, spawn K fresh workers /
+drain K live ones* — replaying what an autoscaler does to a fleet
+mid-run.  Spawned workers are well-behaved (optionally with a
+``max_jobs`` drain budget, like autoscaled workers); drained workers go
+through the worker's own graceful path (``shutdown`` + dispatcher
+acknowledgment), so an in-flight assignment requeues without burning a
+retry.  The asserted property is unchanged: the merged bytes must equal
+the oracle no matter how the pool breathes.
 """
 
 import asyncio
+import dataclasses
 import hashlib
 import json
 import os
@@ -89,11 +102,39 @@ class ChaosEvent:
 
 
 @dataclass(frozen=True)
+class ChaosScaleEvent:
+    """When the fleet has completed ``at_completed`` jobs, ``spawn``
+    ``workers`` fresh well-behaved workers (each with an optional
+    ``max_jobs`` drain budget) or gracefully ``drain`` ``workers`` live
+    non-anchor workers."""
+
+    at_completed: int
+    action: str
+    workers: int = 1
+    max_jobs: Optional[int] = None
+
+    def __post_init__(self):
+        if self.action not in ("spawn", "drain"):
+            raise ValueError(f"unknown scale action {self.action!r}")
+        if self.at_completed < 0 or self.workers < 1:
+            raise ValueError("at_completed must be >= 0 and workers >= 1")
+        if self.max_jobs is not None and (
+            self.action != "spawn" or self.max_jobs < 1
+        ):
+            raise ValueError("max_jobs needs action='spawn' and a count >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"at_completed": self.at_completed, "action": self.action,
+                "workers": self.workers, "max_jobs": self.max_jobs}
+
+
+@dataclass(frozen=True)
 class ChaosSchedule:
     """A full failure plan: at most one event per worker index."""
 
     events: Tuple[ChaosEvent, ...]
     stall_seconds: float = 1.0
+    scale_events: Tuple[ChaosScaleEvent, ...] = ()
 
     def __post_init__(self):
         workers = [event.worker for event in self.events]
@@ -115,15 +156,18 @@ class ChaosSchedule:
         return {
             "events": [event.to_dict() for event in self.events],
             "stall_seconds": self.stall_seconds,
+            "scale_events": [event.to_dict() for event in self.scale_events],
         }
 
     def describe(self) -> str:
-        if not self.events:
-            return "no chaos"
-        return ", ".join(
+        parts = [
             f"w{event.worker}:{event.action}@{event.after_jobs}"
             for event in self.events
-        )
+        ] + [
+            f"fleet:{event.action}x{event.workers}@{event.at_completed}"
+            for event in self.scale_events
+        ]
+        return ", ".join(parts) if parts else "no chaos"
 
 
 class ChaosWorker:
@@ -136,17 +180,29 @@ class ChaosWorker:
     """
 
     def __init__(self, host, port, store_dir=None, name="chaos",
-                 event=None, stall_seconds=1.0):
+                 event=None, stall_seconds=1.0, max_jobs=None):
         self.host, self.port = host, port
         self.store = None if store_dir is None else DirectoryStore(store_dir)
         self.name = name
         self.event = event
         self.stall_seconds = stall_seconds
+        self.max_jobs = max_jobs
         self.completed = 0
         self.acted = False
+        self.drained = False
+        self._drain = threading.Event()
         self._done = threading.Event()
         self.thread = threading.Thread(target=self._run, daemon=True)
         self.thread.start()
+
+    @property
+    def running(self) -> bool:
+        """Still serving: neither finished nor asked to drain."""
+        return not self._done.is_set() and not self._drain.is_set()
+
+    def request_drain(self):
+        """Ask the worker to drain gracefully before its next job."""
+        self._drain.set()
 
     def _run(self):
         try:
@@ -189,6 +245,25 @@ class ChaosWorker:
             interval = float(welcome.get("heartbeat_interval", 1.0))
             beat = asyncio.create_task(heartbeats(interval))
             while True:
+                over_budget = (
+                    self.max_jobs is not None
+                    and self.completed >= self.max_jobs
+                )
+                if over_budget or self._drain.is_set():
+                    # The worker's graceful drain: announce shutdown and
+                    # wait for the dispatcher's acknowledgment so a
+                    # crossed assignment requeues (free of charge)
+                    # before the stream drops.
+                    await send({"type": "shutdown"})
+                    try:
+                        while True:
+                            ack = await asyncio.wait_for(recv(), timeout=10)
+                            if ack is None or ack.get("type") == "shutdown":
+                                break
+                    except asyncio.TimeoutError:
+                        pass
+                    self.drained = True
+                    return
                 await send({"type": "ready"})
                 message = await recv()
                 if message is None or message["type"] != "assign":
@@ -247,18 +322,30 @@ class ChaosRun:
     #: Wall time of the dispatch alone (fleet spin-up and worker joins
     #: excluded) — what the speculation benchmark compares.
     elapsed_s: float = 0.0
+    #: One line per realized scale event ("spawn scale-0" / "drain ...").
+    scale_log: List[str] = field(default_factory=list)
 
 
 def digest_of(value: Any) -> str:
     """SHA-256 of the canonical JSON form — the byte-identity oracle.
 
     Objects with ``to_dict`` serialize through it, so merged tallies
-    and decoded results digest the same way their wire forms do.
+    and decoded results digest the same way their wire forms do;
+    ``to_payload`` (characterization tables) and plain dataclasses
+    (``CellTables``) are handled too, so whole DAG result dicts digest
+    directly.
     """
 
     def canonical(obj: Any) -> Any:
         if hasattr(obj, "to_dict"):
             return canonical(obj.to_dict())
+        if hasattr(obj, "to_payload"):
+            return canonical(obj.to_payload())
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return {
+                f.name: canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            }
         if isinstance(obj, dict):
             return {str(k): canonical(v) for k, v in obj.items()}
         if isinstance(obj, (list, tuple)):
@@ -326,6 +413,8 @@ def run_chaos_fleet(
     )
     store = None if store_dir is None else DirectoryStore(store_dir)
     workers: List[ChaosWorker] = []
+    scale_log: List[str] = []
+    stop_driver = threading.Event()
     with ShardDispatcher(store=store, **dispatcher_kwargs) as dispatcher:
         host, port = dispatcher.start()
         for index in range(schedule.n_workers):
@@ -336,11 +425,43 @@ def run_chaos_fleet(
             ))
         workers.append(ChaosWorker(host, port, store_dir, name="anchor"))
         dispatcher.await_workers(len(workers), timeout=30)
+
+        def scale_driver():
+            """Fire scale events as the fleet's completed count grows."""
+            pending = sorted(
+                schedule.scale_events, key=lambda e: e.at_completed
+            )
+            spawned = 0
+            while pending and not stop_driver.is_set():
+                done = dispatcher.stats.completed
+                while pending and done >= pending[0].at_completed:
+                    event = pending.pop(0)
+                    if event.action == "spawn":
+                        for _ in range(event.workers):
+                            name = f"scale-{spawned}"
+                            spawned += 1
+                            workers.append(ChaosWorker(
+                                host, port, store_dir, name=name,
+                                max_jobs=event.max_jobs,
+                            ))
+                            scale_log.append(f"spawn {name}@{done}")
+                    else:  # drain the youngest live non-anchor workers
+                        live = [w for w in workers
+                                if w.name != "anchor" and w.running]
+                        for worker in live[-event.workers:]:
+                            worker.request_drain()
+                            scale_log.append(f"drain {worker.name}@{done}")
+                time.sleep(0.02)
+
+        driver = threading.Thread(target=scale_driver, daemon=True)
+        driver.start()
         start = time.perf_counter()
         result = dispatcher.dispatch(
             jobs, decode=decode, merge=merge, timeout=timeout
         )
         elapsed = time.perf_counter() - start
+        stop_driver.set()
+        driver.join(timeout=10)
         stats = dispatcher.stats
     for worker in workers:
         worker.join()
@@ -349,5 +470,85 @@ def run_chaos_fleet(
     return ChaosRun(
         result=result, stats=stats, schedule=schedule,
         digest=digest, artifact_path=artifact, workers=workers,
-        elapsed_s=elapsed,
+        elapsed_s=elapsed, scale_log=scale_log,
+    )
+
+
+def run_chaos_dag(
+    dag,
+    schedule: ChaosSchedule,
+    store_dir: Optional[str] = None,
+    timeout: float = 180.0,
+    **dispatcher_kwargs,
+) -> ChaosRun:
+    """Execute a :class:`~repro.distributed.dag.DagRun` on a chaos fleet.
+
+    The acceptance scenario of the autoscaling PR: the cross-kind
+    pipeline runs through one dispatcher while the schedule's scale
+    events grow and drain the pool mid-run (and any misbehaviour events
+    fire), and the node results — keyed by node name in
+    ``ChaosRun.result`` — must digest identically to the single-process
+    phase-by-phase oracle.
+    """
+    dispatcher_kwargs.setdefault("heartbeat_interval", HEARTBEAT_INTERVAL)
+    dispatcher_kwargs.setdefault("heartbeat_timeout", HEARTBEAT_TIMEOUT)
+    dispatcher_kwargs.setdefault("max_retries", len(schedule.events) + 1)
+    dispatcher_kwargs.setdefault(
+        "speculation_threshold", max(schedule.stall_seconds / 2, 0.05)
+    )
+    store = None if store_dir is None else DirectoryStore(store_dir)
+    workers: List[ChaosWorker] = []
+    scale_log: List[str] = []
+    stop_driver = threading.Event()
+    with ShardDispatcher(store=store, **dispatcher_kwargs) as dispatcher:
+        host, port = dispatcher.start()
+        for index in range(schedule.n_workers):
+            workers.append(ChaosWorker(
+                host, port, store_dir, name=f"chaos-{index}",
+                event=schedule.event_for(index),
+                stall_seconds=schedule.stall_seconds,
+            ))
+        workers.append(ChaosWorker(host, port, store_dir, name="anchor"))
+        dispatcher.await_workers(len(workers), timeout=30)
+
+        def scale_driver():
+            pending = sorted(
+                schedule.scale_events, key=lambda e: e.at_completed
+            )
+            spawned = 0
+            while pending and not stop_driver.is_set():
+                done = dispatcher.stats.completed
+                while pending and done >= pending[0].at_completed:
+                    event = pending.pop(0)
+                    if event.action == "spawn":
+                        for _ in range(event.workers):
+                            name = f"scale-{spawned}"
+                            spawned += 1
+                            workers.append(ChaosWorker(
+                                host, port, store_dir, name=name,
+                                max_jobs=event.max_jobs,
+                            ))
+                            scale_log.append(f"spawn {name}@{done}")
+                    else:
+                        live = [w for w in workers
+                                if w.name != "anchor" and w.running]
+                        for worker in live[-event.workers:]:
+                            worker.request_drain()
+                            scale_log.append(f"drain {worker.name}@{done}")
+                time.sleep(0.02)
+
+        driver = threading.Thread(target=scale_driver, daemon=True)
+        driver.start()
+        start = time.perf_counter()
+        result = dag.run(dispatcher, timeout=timeout)
+        elapsed = time.perf_counter() - start
+        stop_driver.set()
+        driver.join(timeout=10)
+        stats = dispatcher.stats
+    for worker in workers:
+        worker.join()
+    return ChaosRun(
+        result=result, stats=stats, schedule=schedule,
+        digest=digest_of(result), workers=workers,
+        elapsed_s=elapsed, scale_log=scale_log,
     )

@@ -47,8 +47,10 @@ from repro.sram.montecarlo import MarginTally, MonteCarloAnalyzer
 from tests.distributed.chaos import (
     CHAOS_ACTIONS,
     ChaosEvent,
+    ChaosScaleEvent,
     ChaosSchedule,
     digest_of,
+    run_chaos_dag,
     run_chaos_fleet,
 )
 from tests.distributed.conftest import BLOCK_SAMPLES, N_SAMPLES
@@ -138,6 +140,28 @@ def nn_case():
     ]))
     oracle = oracle_for(jobs)
     return jobs, digest_of(oracle)
+
+
+class _LocalDispatcher:
+    """Duck-typed stand-in for a DAG's dispatcher: every job node runs
+    through the same in-process oracle as the flat cases."""
+
+    def dispatch(self, jobs, decode=None, merge=None, timeout=None,
+                 client="default", priority=0):
+        return oracle_for(jobs, decode=decode, merge=merge)
+
+
+@lru_cache(maxsize=None)
+def dag_case():
+    from repro.distributed.dag import paper_pipeline_dag
+
+    model_from_spec(MODEL)  # warms the weight cache for the fleet
+    dag = paper_pipeline_dag(
+        MODEL, [0.65, VDD], rows=64, n_samples=N_SAMPLES,
+        block_samples=BLOCK_SAMPLES, shards=3, n_trials=1, eval_seed=5,
+        run_id="chaosdag",
+    )
+    return dag, digest_of(dag.run(_LocalDispatcher()))
 
 
 @st.composite
@@ -267,6 +291,43 @@ class TestChaosScenarios:
         assert [r.to_dict() for r in run.result] == [
             r.to_dict() for r in local
         ]
+
+
+class TestDagScaleScenario:
+    """The PR's acceptance scenario: the full paper pipeline runs as
+    one DAG through one dispatcher while the fleet is killed, grown and
+    drained mid-run — and not a byte moves."""
+
+    def test_dag_scale_up_and_drain_mid_run_is_byte_identical(self):
+        dag, oracle_digest = dag_case()
+        schedule = ChaosSchedule(
+            events=(ChaosEvent(worker=0, after_jobs=1, action="kill"),),
+            scale_events=(
+                ChaosScaleEvent(at_completed=2, action="spawn",
+                                workers=2, max_jobs=3),
+                ChaosScaleEvent(at_completed=6, action="drain", workers=1),
+            ),
+        )
+        with tempfile.TemporaryDirectory() as store_dir:
+            run = run_chaos_dag(dag, schedule, store_dir)
+        assert run.digest == oracle_digest, (
+            f"DAG merge diverged from the phase-by-phase oracle under "
+            f"[{schedule.describe()}]"
+        )
+        # 2 kinds x 2 vdds x 3 margin shards + 2 hybrid + 1 baseline.
+        assert run.stats.completed == 15
+        assert run.stats.retries >= 1        # the kill's requeue
+        assert run.stats.workers_lost >= 1
+        assert any(line.startswith("spawn") for line in run.scale_log)
+        assert any(line.startswith("drain") for line in run.scale_log)
+
+    def test_scale_event_validation(self):
+        with pytest.raises(ValueError, match="unknown scale action"):
+            ChaosScaleEvent(at_completed=0, action="replace")
+        with pytest.raises(ValueError, match="max_jobs"):
+            ChaosScaleEvent(at_completed=0, action="drain", max_jobs=2)
+        with pytest.raises(ValueError, match="workers >= 1"):
+            ChaosScaleEvent(at_completed=0, action="spawn", workers=0)
 
 
 class TestHarness:

@@ -6,6 +6,11 @@ worker dying mid-shard, and never recomputes a shard that any worker
 already wrote to the shared store.
 """
 
+import asyncio
+import json
+import threading
+import time
+
 import pytest
 
 from repro.distributed import DispatchError
@@ -14,6 +19,7 @@ from repro.serving.server import request_stats
 from repro.sram.montecarlo import MarginTally
 
 from tests.distributed.conftest import (
+    HEARTBEAT_INTERVAL,
     FakeWorker,
     WorkerThread,
     canon,
@@ -398,3 +404,158 @@ class TestScheduling:
         ]:
             with pytest.raises(DispatchError):
                 ShardDispatcher(**kwargs)
+
+
+class _ScriptedPeer:
+    """Scaffolding for one-shot scripted workers: register, take one
+    assignment, then hand control to :meth:`_after_assign`."""
+
+    def __init__(self, host, port, name):
+        self.host, self.port, self.name = host, port, name
+        self.assigned = []
+        self.acked = False
+        self._done = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def _run(self):
+        try:
+            asyncio.run(self._script())
+        finally:
+            self._done.set()
+
+    async def _script(self):
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+
+        async def send(payload):
+            writer.write((json.dumps(payload) + "\n").encode())
+            await writer.drain()
+
+        async def recv():
+            raw = await reader.readline()
+            return json.loads(raw) if raw else None
+
+        try:
+            await send({"type": "register", "name": self.name,
+                        "pid": 0, "protocol": 1})
+            welcome = await recv()
+            assert welcome and welcome["type"] == "welcome", welcome
+            await send({"type": "ready"})
+            message = await recv()
+            assert message and message["type"] == "assign", message
+            self.assigned.append(message["job"]["job_id"])
+            await self._after_assign(send, recv)
+        finally:
+            writer.close()
+
+    async def _after_assign(self, send, recv):
+        raise NotImplementedError
+
+    def join(self, timeout=10):
+        assert self._done.wait(timeout), f"{self.name} script did not finish"
+
+
+class DrainAnnouncingWorker(_ScriptedPeer):
+    """Announces a clean ``shutdown`` with its assignment still in
+    flight — the worker-side race of a ``--max-jobs`` drain."""
+
+    async def _after_assign(self, send, recv):
+        await send({"type": "shutdown"})
+        while True:
+            ack = await asyncio.wait_for(recv(), timeout=10)
+            if ack is None:
+                return
+            if ack.get("type") == "shutdown":
+                self.acked = True
+                return
+
+
+class HeartbeatingStraggler(_ScriptedPeer):
+    """Holds its assignment forever while heartbeating — alive and
+    slow, the shape that triggers speculation rather than retirement."""
+
+    async def _after_assign(self, send, recv):
+        while True:
+            try:
+                message = await asyncio.wait_for(
+                    recv(), timeout=HEARTBEAT_INTERVAL / 2
+                )
+            except asyncio.TimeoutError:
+                await send({"type": "heartbeat"})
+                continue
+            if message is None or message.get("type") == "shutdown":
+                return
+
+
+class TestDrainRaces:
+    """Drain announcements racing live assignments (the satellite
+    sweep): neither interleaving may burn a retry or bend the bytes."""
+
+    def test_shutdown_with_job_in_flight_requeues_without_retry(
+        self, dist_analyzer, store_dir
+    ):
+        """A worker announces shutdown while an assignment is in
+        flight.  ``max_retries=0`` makes the proof sharp: if the
+        graceful requeue consumed the retry budget, the run would fail
+        outright instead of completing byte-identically."""
+        reference = canon(dist_analyzer.analyze(VDD))
+        with make_dispatcher(store_dir, max_retries=0) as dispatcher:
+            host, port = dispatcher.start()
+            drainer = DrainAnnouncingWorker(host, port, name="drainer")
+            dispatcher.await_workers(1, timeout=10)
+            survivor = WorkerThread(host, port, store_dir, name="survivor")
+            dispatcher.await_workers(2, timeout=10)
+            rates = dist_analyzer.analyze_sharded(
+                VDD, shards=3, dispatcher=dispatcher
+            )
+            assert canon(rates) == reference
+            stats = dispatcher.stats
+            assert stats.per_worker.get("drainer") == 1
+            assert stats.drain_requeues == 1
+            assert stats.retries == 0
+            assert stats.completed == 3
+        drainer.join()
+        assert drainer.acked, "dispatcher never acknowledged the drain"
+        survivor.join()
+
+    def test_backup_hits_max_jobs_on_the_speculated_job(
+        self, dist_analyzer, store_dir
+    ):
+        """The speculation backup reaches ``--max-jobs`` on the very
+        job it was speculated onto: its answer must land (a win), its
+        drain must retire it gracefully, and the straggler's silence
+        must not touch the (zero) retry budget."""
+        reference = canon(dist_analyzer.analyze(VDD))
+        with make_dispatcher(
+            store_dir, max_retries=0, speculation_threshold=0.3
+        ) as dispatcher:
+            host, port = dispatcher.start()
+            straggler = HeartbeatingStraggler(host, port, name="straggler")
+            dispatcher.await_workers(1, timeout=10)
+            result = {}
+            runner = threading.Thread(
+                target=lambda: result.update(rates=dist_analyzer.analyze_sharded(
+                    VDD, shards=1, dispatcher=dispatcher
+                )),
+                daemon=True,
+            )
+            runner.start()
+            # The straggler is the only worker, so the one shard lands
+            # on it deterministically; only then does the backup join.
+            deadline = time.time() + 10
+            while dispatcher.stats.assignments < 1:
+                assert time.time() < deadline, "shard never assigned"
+                time.sleep(0.01)
+            backup = WorkerThread(
+                host, port, store_dir, name="backup", max_jobs=1
+            )
+            runner.join(60)
+            assert not runner.is_alive(), "dispatch did not complete"
+            assert canon(result["rates"]) == reference
+            stats = dispatcher.stats
+            assert stats.speculations == 1
+            assert stats.speculative_wins == 1
+            assert stats.retries == 0
+            assert stats.completed == 1
+        assert backup.join() == 1  # drained cleanly after its one job
+        straggler.join()

@@ -107,4 +107,29 @@ class TestDirectoryStore:
 
     def test_ttl_validation(self, tmp_path):
         with pytest.raises(ValueError, match="ttl"):
-            DirectoryStore(str(tmp_path / "s"), ttl=0.0)
+            DirectoryStore(str(tmp_path / "s"), ttl=-1.0)
+
+    def test_ttl_zero_means_already_expired(self, tmp_path):
+        """``ttl=0`` is legal and means every entry has lived its full
+        TTL — reads miss (and count an expiration), writes still land."""
+        store = DirectoryStore(str(tmp_path / "s"), ttl=0.0)
+        store.put("mcshard", {"k": 1}, "v")
+        assert store.get("mcshard", {"k": 1}) is None
+        assert store.tier.expirations == 1
+
+    def test_backward_clock_step_clamps_age_to_zero(
+        self, tmp_path, monkeypatch
+    ):
+        """Satellite of the TTL-clock sweep: file tiers age by
+        wall-clock mtime, so a backward clock step yields a *future*
+        mtime; the age clamp makes that read as age 0 (fresh for any
+        positive ttl, expired for ttl=0) rather than a negative age."""
+        import os as _os
+        import time as _time
+
+        store = DirectoryStore(str(tmp_path / "s"), ttl=60.0)
+        store.put("mcshard", {"k": 1}, "v")
+        mtime = _os.path.getmtime(store.cache.path("mcshard", {"k": 1}))
+        monkeypatch.setattr(_time, "time", lambda: mtime - 500.0)
+        assert store.get("mcshard", {"k": 1}) == "v"
+        assert store.tier.expirations == 0

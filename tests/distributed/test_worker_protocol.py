@@ -1,0 +1,193 @@
+"""Worker-side protocol edges: registration, welcome validation, drains.
+
+These tests script the *dispatcher* side of the wire by hand, so they
+can send exactly the malformed welcome documents a real dispatcher
+never would — the worker must refuse them with a documented
+:class:`~repro.distributed.protocol.ProtocolError`, never a bare
+``KeyError`` out of the message loop.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.distributed import ProtocolError, run_worker
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    STREAM_LIMIT,
+    recv_message,
+    send_message,
+)
+from repro.distributed.worker import Worker
+
+
+GOOD_WELCOME = {
+    "type": "welcome",
+    "protocol": PROTOCOL_VERSION,
+    "heartbeat_interval": 5.0,
+}
+
+
+class ScriptedDispatcher:
+    """A hand-scripted dispatcher endpoint.
+
+    Accepts one worker, records its ``register`` message, replies with
+    the configured ``welcome`` document (or nothing), then — if the
+    worker survives to send ``ready`` — answers with ``shutdown`` and
+    reads the stream to EOF.  Use as a context manager; ``host``/
+    ``port`` are live inside the block.
+    """
+
+    def __init__(self, welcome=GOOD_WELCOME):
+        self.welcome = welcome
+        self.register = None
+        self.received = []
+        self.host = "127.0.0.1"
+        self.port = None
+        self._ready = threading.Event()
+        self._thread = None
+
+    def __enter__(self):
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve()), daemon=True
+        )
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "scripted dispatcher never bound"
+        return self
+
+    def __exit__(self, *exc):
+        self._thread.join(timeout=20)
+        assert not self._thread.is_alive(), "scripted dispatcher hung"
+
+    async def _serve(self):
+        done = asyncio.Event()
+
+        async def handle(reader, writer):
+            try:
+                self.register = await recv_message(reader)
+                if self.welcome is not None:
+                    await send_message(writer, self.welcome)
+                    while True:
+                        message = await recv_message(reader)
+                        if message is None:
+                            break
+                        self.received.append(message)
+                        if message.get("type") == "ready":
+                            await send_message(writer, {"type": "shutdown"})
+            except (ProtocolError, ConnectionError, OSError):
+                pass
+            finally:
+                writer.close()
+                done.set()
+
+        server = await asyncio.start_server(
+            handle, self.host, 0, limit=STREAM_LIMIT
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await asyncio.wait_for(done.wait(), timeout=30)
+
+
+def _run(worker: Worker) -> int:
+    return asyncio.run(worker.run())
+
+
+class TestWelcomeValidation:
+    def test_clean_round_trip(self):
+        with ScriptedDispatcher() as d:
+            assert _run(Worker(d.host, d.port, name="w")) == 0
+        assert d.register["type"] == "register"
+        assert d.register["name"] == "w"
+        assert d.register["protocol"] == PROTOCOL_VERSION
+        assert [m["type"] for m in d.received] == ["ready"]
+
+    def test_non_welcome_reply_is_protocol_error(self):
+        with ScriptedDispatcher(
+            welcome={"type": "error", "error": "version skew"}
+        ) as d:
+            with pytest.raises(ProtocolError, match="rejected registration"):
+                _run(Worker(d.host, d.port))
+
+    def test_missing_type_key_is_protocol_error_not_keyerror(self):
+        """The historical bug shape: a type-less welcome must surface
+        as the documented ProtocolError (here from envelope validation
+        in ``recv_message``), never as a bare ``KeyError``."""
+        with ScriptedDispatcher(welcome={"heartbeat_interval": 1.0}) as d:
+            with pytest.raises(ProtocolError, match="'type'"):
+                _run(Worker(d.host, d.port))
+
+    @pytest.mark.parametrize("interval", [0, -1, -0.5, "fast", True, None])
+    def test_bad_heartbeat_interval_is_rejected(self, interval):
+        """A zero/negative/non-numeric interval would busy-loop the
+        heartbeat task; the worker must refuse to serve under it."""
+        welcome = dict(GOOD_WELCOME, heartbeat_interval=interval)
+        with ScriptedDispatcher(welcome=welcome) as d:
+            with pytest.raises(ProtocolError, match="heartbeat_interval"):
+                _run(Worker(d.host, d.port))
+
+    def test_absent_heartbeat_interval_defaults(self):
+        """An old dispatcher that omits the field still gets served."""
+        welcome = {"type": "welcome", "protocol": PROTOCOL_VERSION}
+        with ScriptedDispatcher(welcome=welcome) as d:
+            assert _run(Worker(d.host, d.port)) == 0
+
+    def test_run_worker_exits_1_on_protocol_error(self, capsys):
+        """``run_worker`` turns the documented ProtocolError into a
+        nonzero exit code instead of a traceback."""
+        welcome = dict(GOOD_WELCOME, heartbeat_interval=0)
+        with ScriptedDispatcher(welcome=welcome) as d:
+            assert run_worker(d.host, d.port) == 1
+        assert "heartbeat_interval" in capsys.readouterr().out
+
+
+class TestWorkerCliRoundTrip:
+    def test_ttl_zero_composes_tiered_store(self, tmp_path, monkeypatch):
+        """Satellite regression: ``--ttl 0`` is a real tiering request
+        ("treat every entry as already expired"), so the CLI must build
+        the tiered composition and hand it ``ttl=0.0`` — the old
+        truthiness check silently dropped it."""
+        import repro.runtime.tiering as tiering
+        from repro.cli import main
+
+        calls = []
+        real = tiering.make_tiered_store
+
+        def spy(**kwargs):
+            calls.append(kwargs)
+            return real(**kwargs)
+
+        monkeypatch.setattr(tiering, "make_tiered_store", spy)
+        with ScriptedDispatcher() as d:
+            rc = main([
+                "worker",
+                "--connect", f"{d.host}:{d.port}",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--ttl", "0",
+            ])
+        assert rc == 0
+        assert len(calls) == 1
+        assert calls[0]["ttl"] == 0.0
+        assert calls[0]["cache_dir"] == str(tmp_path / "cache")
+
+    def test_no_tiering_flags_keeps_plain_store(self, tmp_path, monkeypatch):
+        import repro.runtime.tiering as tiering
+        from repro.cli import main
+
+        calls = []
+        real = tiering.make_tiered_store
+
+        def spy(**kwargs):
+            calls.append(kwargs)
+            return real(**kwargs)
+
+        monkeypatch.setattr(tiering, "make_tiered_store", spy)
+        with ScriptedDispatcher() as d:
+            rc = main([
+                "worker",
+                "--connect", f"{d.host}:{d.port}",
+                "--cache-dir", str(tmp_path / "cache"),
+            ])
+        assert rc == 0
+        assert calls == []

@@ -238,6 +238,23 @@ class TestTTL:
         os.utime(cache.path("mc", {"k": 1}), (0, 0))
         assert cache.get("mc", {"k": 1}) == "old"
 
+    def test_backward_clock_step_clamps_age_to_zero(self, cache, monkeypatch):
+        """File ages are wall-clock (``time.time() - mtime``), so a
+        backward clock step makes entries look younger than they are —
+        but never *negatively* aged.  The clamp's observable edge is
+        ``ttl=0`` ("already expired"): a negative age would compare
+        ``< 0`` and resurrect the entry."""
+        import time as _time
+
+        cache.put("mc", {"k": 1}, "fresh")
+        mtime = os.path.getmtime(cache.path("mc", {"k": 1}))
+        monkeypatch.setattr(_time, "time", lambda: mtime - 1000.0)
+        # Clamped age 0 is younger than any positive ttl: a hit.
+        assert cache.get("mc", {"k": 1}, ttl=30.0) == "fresh"
+        # ...and exactly at ttl=0, so the entry is already expired —
+        # unclamped, -1000 < 0 would make ttl=0 a hit.
+        assert cache.get("mc", {"k": 1}, ttl=0.0) is None
+
 
 class TestCompaction:
     def _plant(self, cache, namespace, key, age, size=None):
@@ -250,6 +267,16 @@ class TestCompaction:
         then = _time.time() - age
         os.utime(path, (then, then))
         return path
+
+    def test_max_age_zero_reaps_future_mtime_files(self, cache):
+        """A file stamped *ahead* of the wall clock (clock stepped back
+        since it was written) has clamped age 0, so ``max_age=0``
+        deletes it like everything else — unclamped, its negative age
+        would dodge compaction forever."""
+        future = self._plant(cache, "mc", "future", age=-3600.0)
+        result = cache.compact(max_age=0.0)
+        assert result.removed == 1
+        assert not os.path.exists(future)
 
     def test_max_age_deletes_exactly_the_expired(self, cache):
         old = self._plant(cache, "mc", "old", age=100.0)
