@@ -263,6 +263,7 @@ def test_mixed_workload_dispatch(benchmark, tmp_path_factory, emit):
         format_table(
             ["workload", "jobs", "wall s", "jobs/s"], table_rows
         ) + "\n\n" + speculation_note,
+        metrics=stats.metrics,
         data={
             "fleet_workers": N_WORKERS,
             "kinds": [

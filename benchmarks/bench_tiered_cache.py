@@ -132,7 +132,7 @@ def test_tiered_cache_throughput(benchmark, tech, emit):
                 for d in data
             ],
         )
-        emit("tiered_cache", table, data=data)
+        emit("tiered_cache", table, data=data, metrics=cold_store.metrics)
     finally:
         cold_store.close()
         server.stop()

@@ -30,7 +30,14 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 # Keys benchmarks/conftest.py `emit` stamps on every JSON document.
 ENVELOPE_KEYS = {
     "name", "version", "generated_at", "n_samples", "profile", "data",
+    "metrics",
 }
+
+# Keys every metrics-snapshot series row carries (repro.obs.metrics).
+METRIC_SERIES_KEYS = {"name", "kind", "labels", "value"}
+
+# Keys every Chrome trace event exported by repro.obs.tracing carries.
+CHROME_EVENT_KEYS = {"name", "ph", "ts", "dur", "pid", "tid", "cat", "args"}
 
 # Per-artifact `data` contracts: the keys downstream consumers read.
 ROW_KEYS = {
@@ -84,7 +91,32 @@ def _check_envelope(name: str, doc: Any, errors: List[str]) -> Any:
     if not isinstance(doc["n_samples"], int) or doc["n_samples"] <= 0:
         errors.append(f"{name}: n_samples must be a positive int, "
                       f"got {doc['n_samples']!r}")
+    _check_metrics(name, doc["metrics"], errors)
     return doc["data"]
+
+
+def _check_metrics(name: str, metrics: Any, errors: List[str]) -> None:
+    """Validate the embedded metrics snapshot (repro.obs.metrics shape)."""
+    if not isinstance(metrics, dict):
+        errors.append(f"{name}: metrics is {type(metrics).__name__}, "
+                      f"not object")
+        return
+    if not isinstance(metrics.get("stats_version"), int):
+        errors.append(f"{name}: metrics.stats_version must be an int, "
+                      f"got {metrics.get('stats_version')!r}")
+    series = metrics.get("series")
+    if not isinstance(series, list):
+        errors.append(f"{name}: metrics.series must be a list")
+        return
+    for i, row in enumerate(series):
+        if not isinstance(row, dict):
+            errors.append(f"{name}: metrics.series[{i}] is not an object")
+            continue
+        missing = METRIC_SERIES_KEYS - row.keys()
+        if missing:
+            errors.append(
+                f"{name}: metrics.series[{i}] missing {sorted(missing)}"
+            )
 
 
 def _check_rows(name: str, data: Any, keys: set, errors: List[str]) -> None:
@@ -151,7 +183,64 @@ def check_artifacts(results_dir: str = RESULTS_DIR) -> List[str]:
     return errors
 
 
+def check_chrome_trace(path: str) -> List[str]:
+    """Validate a Chrome trace-event export (repro.obs.tracing shape).
+
+    Pins the Perfetto-loadable contract: a ``traceEvents`` list of
+    complete (``"ph": "X"``) events with numeric microsecond
+    timestamps/durations and the span-identity ``args``.
+    """
+    errors: List[str] = []
+    label = os.path.basename(path)
+    if not os.path.isfile(path):
+        return [f"{label}: missing trace file {path}"]
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"{label}: unreadable JSON ({exc})"]
+    if not isinstance(doc, dict):
+        return [f"{label}: document is {type(doc).__name__}, not object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{label}: traceEvents must be a non-empty list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"{label}: traceEvents[{i}] is not an object")
+            continue
+        missing = CHROME_EVENT_KEYS - event.keys()
+        if missing:
+            errors.append(f"{label}: traceEvents[{i}] missing "
+                          f"{sorted(missing)}")
+            continue
+        if event["ph"] != "X":
+            errors.append(f"{label}: traceEvents[{i}].ph must be 'X', "
+                          f"got {event['ph']!r}")
+        for key in ("ts", "dur"):
+            value = event[key]
+            if (not isinstance(value, numbers.Real)
+                    or isinstance(value, bool) or value < 0):
+                errors.append(f"{label}: traceEvents[{i}].{key} must be a "
+                              f"non-negative number, got {value!r}")
+        args = event["args"]
+        if not isinstance(args, dict) or "span_id" not in args:
+            errors.append(f"{label}: traceEvents[{i}].args must carry "
+                          f"span identity")
+    return errors
+
+
 def main(argv: List[str]) -> int:
+    if len(argv) > 1 and argv[1] == "--chrome-trace":
+        if len(argv) != 3:
+            print("usage: check_artifacts.py --chrome-trace PATH")
+            return 2
+        errors = check_chrome_trace(argv[2])
+        for line in errors:
+            print(f"FAIL {line}")
+        if errors:
+            return 1
+        print(f"chrome trace OK: {argv[2]}")
+        return 0
     results_dir = argv[1] if len(argv) > 1 else RESULTS_DIR
     errors = check_artifacts(results_dir)
     for line in errors:

@@ -92,15 +92,23 @@ def emit():
     ``emit(name, text)`` writes ``<name>.txt``; passing structured rows
     via ``emit(name, text, data=...)`` additionally writes ``<name>.json``
     with run metadata, for machine consumption (CI artifacts, plotting).
+
+    Every JSON document embeds a ``metrics`` snapshot — the series of
+    the registry passed as ``emit(..., metrics=...)``, else the process
+    default registry — so an uploaded artifact carries the
+    observability counters of the run that produced it.
     """
 
-    def _emit(name: str, text: str, data=None) -> None:
+    def _emit(name: str, text: str, data=None, metrics=None) -> None:
         banner = f"\n===== {name} =====\n{text}\n"
         print(banner)
         os.makedirs(RESULTS_DIR, exist_ok=True)
         with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
             fh.write(text + "\n")
         if data is not None:
+            from repro.obs.metrics import default_registry
+
+            registry = metrics if metrics is not None else default_registry()
             document = {
                 "name": name,
                 "version": __version__,
@@ -108,6 +116,7 @@ def emit():
                 "n_samples": BENCH_SAMPLES,
                 "profile": os.environ.get("REPRO_PROFILE", "fast"),
                 "data": data,
+                "metrics": registry.snapshot(),
             }
             with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
                 json.dump(document, fh, indent=1, sort_keys=True)

@@ -12,11 +12,18 @@ This is the end-to-end acceptance script of the distributed subsystem
    single-host ``analyze`` answer, and that the dispatcher recorded the
    death and the reassignment.
 
+With ``--metrics-port`` the dispatcher's registry is scraped over HTTP
+mid-run and the required ``repro_dispatch_*`` series are asserted
+non-zero (the CI ``obs-smoke`` job's check).  With ``--trace-out`` the
+run executes under a deterministic tracer and exports a Chrome
+trace-event file loadable in Perfetto.
+
 Run it directly::
 
     PYTHONPATH=src python examples/distributed_smoke.py
 """
 
+import argparse
 import json
 import os
 import subprocess
@@ -24,15 +31,24 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.request
 
 from repro.devices import ptm22
 from repro.distributed import DirectoryStore, ShardDispatcher
+from repro.obs import MetricsServer, Tracer
 from repro.sram import make_cell
 from repro.sram.montecarlo import MonteCarloAnalyzer
 
 SAMPLES = int(os.environ.get("SMOKE_SAMPLES", "12000"))
 SHARDS = 8
 VDD = 0.70
+
+#: Series the mid-run scrape must report with a non-zero value.
+REQUIRED_SERIES = (
+    "repro_dispatch_jobs_total",
+    "repro_dispatch_assignments_total",
+    "repro_dispatch_active_workers",
+)
 
 
 def spawn_worker(host, port, store_dir, name):
@@ -44,7 +60,30 @@ def spawn_worker(host, port, store_dir, name):
     )
 
 
-def main() -> int:
+def scrape_metrics(url):
+    """Fetch ``/metrics`` and return ``{series-with-labels: value}``."""
+    with urllib.request.urlopen(url, timeout=10) as response:
+        text = response.read().decode()
+    values = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        values[name] = float(value)
+    return values
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="scrape /metrics mid-run on this port "
+                             "(0 = ephemeral) and assert the required "
+                             "series are non-zero")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export a Chrome trace-event file of the "
+                             "whole run (Perfetto-loadable)")
+    args = parser.parse_args(argv)
+
     analyzer = MonteCarloAnalyzer(
         cell=make_cell("6t", ptm22()),
         n_samples=SAMPLES,
@@ -53,12 +92,23 @@ def main() -> int:
     print(f"monolithic reference: {SAMPLES} samples at {VDD} V ...")
     reference = analyzer.analyze(VDD)
 
+    tracer = None
+    if args.trace_out is not None:
+        tracer = Tracer(enabled=True, deterministic=True)
+
     store_dir = tempfile.mkdtemp(prefix="repro-dist-smoke-")
     dispatcher = ShardDispatcher(
         store=DirectoryStore(store_dir),
         heartbeat_interval=0.2,
         heartbeat_timeout=1.0,
+        tracer=tracer,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(
+            dispatcher.metrics, port=args.metrics_port
+        ).start()
+        print(f"metrics on {metrics_server.url}")
     host, port = dispatcher.start()
     print(f"dispatcher on {host}:{port}, store {store_dir}")
 
@@ -76,7 +126,9 @@ def main() -> int:
                 VDD, shards=SHARDS, dispatcher=dispatcher
             )
 
-        run = threading.Thread(target=drive)
+        # Daemonize so a failed assertion below cannot hang the process
+        # on a dispatch that will never finish once workers are gone.
+        run = threading.Thread(target=drive, daemon=True)
         run.start()
 
         # SIGKILL the victim the moment it holds a shard assignment.
@@ -87,6 +139,18 @@ def main() -> int:
         assert dispatcher.stats.per_worker.get("victim", 0) > 0, (
             "victim never received an assignment"
         )
+        if metrics_server is not None:
+            # Scrape mid-run, while assignments are in flight: the
+            # registry must already report live fleet state.
+            scraped = scrape_metrics(metrics_server.url)
+            for series in REQUIRED_SERIES:
+                value = scraped.get(series, 0.0)
+                assert value > 0, (
+                    f"mid-run scrape: {series} missing or zero "
+                    f"(got {value!r})"
+                )
+            print(f"mid-run /metrics scrape OK "
+                  f"({len(scraped)} series, required ones non-zero)")
         victim.kill()
         victim.wait(timeout=30)
         print("victim killed (SIGKILL) after "
@@ -104,6 +168,12 @@ def main() -> int:
         assert identical, "distributed merge differs from monolithic analyze"
         assert dispatcher.stats.workers_lost >= 1, "worker death not recorded"
         assert dispatcher.stats.completed == SHARDS
+        flight_kinds = [e["kind"] for e in dispatcher.flight.snapshot()]
+        assert "worker_join" in flight_kinds, "worker joins not recorded"
+        assert "worker_death" in flight_kinds, "worker death not in flight log"
+        if tracer is not None:
+            count = tracer.write_chrome_trace(args.trace_out)
+            print(f"chrome trace: {count} event(s) -> {args.trace_out}")
         print("distributed smoke OK: byte-identical merge after "
               f"{dispatcher.stats.retries} reassignment(s)")
         return 0
@@ -114,6 +184,8 @@ def main() -> int:
             victim.kill()
             victim.wait(timeout=30)
         dispatcher.close()
+        if metrics_server is not None:
+            metrics_server.stop()
 
 
 if __name__ == "__main__":

@@ -242,6 +242,16 @@ def cmd_serve(args) -> int:
         batch_window=args.batch_window,
         max_batch=args.max_batch,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsServer, bind_store_metrics
+
+        if cache is not None:
+            bind_store_metrics(evaluator.metrics, cache, component="serve")
+        metrics_server = MetricsServer(
+            evaluator.metrics, port=args.metrics_port
+        ).start()
+        print(f"metrics on {metrics_server.url}", file=sys.stderr)
     try:
         if args.stdin:
             code = run_stdio(evaluator)
@@ -250,6 +260,8 @@ def cmd_serve(args) -> int:
         return run_tcp_forever(evaluator, args.host, args.port,
                                max_inflight=args.max_inflight)
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         close = getattr(cache, "close", None)
         if close is not None:
             close()  # drain write-behind before the process exits
@@ -283,6 +295,7 @@ def cmd_worker(args) -> int:
         lru_entries=args.lru_entries,
         lru_bytes=args.lru_bytes,
         ttl=args.ttl,
+        metrics_port=args.metrics_port,
     )
 
 
@@ -306,6 +319,14 @@ def cmd_autoscale(args) -> int:
         store_url=args.store_url, lru_entries=args.lru_entries,
         lru_bytes=args.lru_bytes, ttl=args.ttl,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsServer
+
+        metrics_server = MetricsServer(
+            controller.metrics, port=args.metrics_port
+        ).start()
+        print(f"metrics on {metrics_server.url}")
     print(f"autoscaling workers for {host}:{port} "
           f"(min {policy.min_workers}, max {policy.max_workers}, "
           f"drain after "
@@ -328,6 +349,8 @@ def cmd_autoscale(args) -> int:
     except KeyboardInterrupt:
         controller.stop()
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         for sig, handler in previous:
             signal.signal(sig, handler)
     print(f"autoscaler stopped: {controller.spawned_total} spawned, "
@@ -393,66 +416,96 @@ def cmd_dispatch(args) -> int:
         store = _build_store(args, cache_dir=args.cache_dir)
     else:
         store = DirectoryStore(args.cache_dir)
+    metrics_server = None
     with ShardDispatcher(
         store=store,
         max_retries=args.max_retries,
         speculation_threshold=args.speculation_threshold,
     ) as dispatcher:
+        if args.metrics_port is not None:
+            from repro.obs import MetricsServer, bind_store_metrics
+
+            bind_store_metrics(
+                dispatcher.metrics, store, component="dispatch"
+            )
+            metrics_server = MetricsServer(
+                dispatcher.metrics, port=args.metrics_port
+            ).start()
+            print(f"metrics on {metrics_server.url}")
         host, port = dispatcher.start(listen_host, listen_port)
         print(f"dispatching on {host}:{port} "
               f"(store {dispatcher.store.describe()}); "
               f"waiting for {args.min_workers} worker(s)")
-        dispatcher.await_workers(args.min_workers)
-        if args.dag:
-            _run_dag(args, dispatcher)
-        elif args.workload == "is":
-            sampler = ImportanceSampler(cell, backend=args.backend)
-            results = sampler.estimate_sweep(
-                vdds, n_samples=args.samples, seed=args.seed,
-                dispatcher=dispatcher,
-            )
-            rows = [
-                [r.vdd, f"{r.probability:.3e}",
-                 f"{100 * r.relative_error:.1f}%", r.n_samples]
-                for r in results
-            ]
-            print(f"{args.cell.upper()} cell, {args.tech}, importance "
-                  f"sampling, {args.samples} samples per point:")
-            print(format_table(
-                ["VDD", "P(read acc)", "rel. err.", "samples"], rows,
-            ))
-        else:
-            analyzer = MonteCarloAnalyzer(
-                cell=cell,
-                n_samples=args.samples,
-                block_samples=(args.block_samples
-                               if args.block_samples is not None
-                               else DEFAULT_BLOCK_SAMPLES),
-                backend=args.backend,
-            )
-            # Default the shard count to the fleet size: one shard per
-            # worker is the natural grain when none was requested.
-            shards = args.shards if args.shards is not None else max(
-                1, dispatcher.stats.active_workers
-            )
-            rows = []
-            for vdd in vdds:
-                rates = analyzer.analyze_sharded(
-                    vdd, shards=shards,
-                    max_shard_samples=args.max_shard_samples,
+        try:
+            dispatcher.await_workers(args.min_workers)
+            if args.dag:
+                _run_dag(args, dispatcher)
+            elif args.workload == "is":
+                sampler = ImportanceSampler(cell, backend=args.backend)
+                results = sampler.estimate_sweep(
+                    vdds, n_samples=args.samples, seed=args.seed,
                     dispatcher=dispatcher,
                 )
-                rows.append([vdd, f"{rates.p_read_access:.3e}",
-                             f"{rates.p_write:.3e}",
-                             f"{rates.p_read_disturb:.3e}",
-                             f"{rates.p_cell:.3e}"])
-            print(f"{args.cell.upper()} cell, {args.tech}, {args.samples} MC "
-                  f"samples, {shards} shard(s) per point:")
-            print(format_table(
-                ["VDD", "P(read acc)", "P(write)", "P(disturb)", "P(cell)"],
-                rows,
-            ))
-        print(dispatcher.stats.summary())
+                rows = [
+                    [r.vdd, f"{r.probability:.3e}",
+                     f"{100 * r.relative_error:.1f}%", r.n_samples]
+                    for r in results
+                ]
+                print(f"{args.cell.upper()} cell, {args.tech}, importance "
+                      f"sampling, {args.samples} samples per point:")
+                print(format_table(
+                    ["VDD", "P(read acc)", "rel. err.", "samples"], rows,
+                ))
+            else:
+                analyzer = MonteCarloAnalyzer(
+                    cell=cell,
+                    n_samples=args.samples,
+                    block_samples=(args.block_samples
+                                   if args.block_samples is not None
+                                   else DEFAULT_BLOCK_SAMPLES),
+                    backend=args.backend,
+                )
+                # Default the shard count to the fleet size: one shard per
+                # worker is the natural grain when none was requested.
+                shards = args.shards if args.shards is not None else max(
+                    1, dispatcher.stats.active_workers
+                )
+                rows = []
+                for vdd in vdds:
+                    rates = analyzer.analyze_sharded(
+                        vdd, shards=shards,
+                        max_shard_samples=args.max_shard_samples,
+                        dispatcher=dispatcher,
+                    )
+                    rows.append([vdd, f"{rates.p_read_access:.3e}",
+                                 f"{rates.p_write:.3e}",
+                                 f"{rates.p_read_disturb:.3e}",
+                                 f"{rates.p_cell:.3e}"])
+                print(f"{args.cell.upper()} cell, {args.tech}, {args.samples} "
+                      f"MC samples, {shards} shard(s) per point:")
+                print(format_table(
+                    ["VDD", "P(read acc)", "P(write)", "P(disturb)",
+                     "P(cell)"],
+                    rows,
+                ))
+            print(dispatcher.stats.summary())
+        except Exception:
+            # A crashing run takes its evidence with it unless the
+            # flight recorder lands on disk first.
+            import os
+
+            dump_path = os.path.abspath(f"repro-flight-{os.getpid()}.json")
+            try:
+                count = dispatcher.flight.dump(dump_path)
+                print(f"dispatcher crashed; flight recorder "
+                      f"({count} event(s)) dumped to {dump_path}",
+                      file=sys.stderr)
+            except OSError:
+                pass
+            raise
+        finally:
+            if metrics_server is not None:
+                metrics_server.stop()
     close = getattr(store, "close", None)
     if close is not None:
         close()  # drain write-behind so the remote tier sees every result
@@ -493,6 +546,24 @@ def cmd_objectstore(args) -> int:
 
     host, port = _parse_endpoint(args.listen, "--listen")
     return serve_object_store(host, port)
+
+
+def cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        args.host, args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+
+
+def _add_metrics_option(p) -> None:
+    p.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                   help="expose Prometheus text metrics on "
+                        "http://127.0.0.1:P/metrics (0 = ephemeral; the "
+                        "bound URL is printed at startup)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -558,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "serving counters and exit (starts nothing)")
     _add_common(p)
     _add_store_options(p)
+    _add_metrics_option(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -582,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "REPRO_BACKEND, else fused; bit-identical either "
                         "way, so mixed fleets stay exact)")
     _add_store_options(p)
+    _add_metrics_option(p)
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
@@ -647,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="probe a RUNNING dispatcher at --connect for its "
                         "counters and exit (starts nothing)")
     _add_store_options(p)
+    _add_metrics_option(p)
     p.set_defaults(func=cmd_dispatch)
 
     p = sub.add_parser(
@@ -679,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--poll", type=float, default=1.0, metavar="S",
                    help="seconds between stats polls (default 1)")
     _add_store_options(p)
+    _add_metrics_option(p)
     p.set_defaults(func=cmd_autoscale)
 
     p = sub.add_parser(
@@ -710,10 +785,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "= ephemeral; the bound URL is printed on startup)")
     p.set_defaults(func=cmd_objectstore)
 
+    p = sub.add_parser(
+        "top",
+        help="live fleet dashboard: poll a dispatcher or serve stats "
+             "probe and redraw a terminal summary",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="stats-probe host (default 127.0.0.1)")
+    p.add_argument("--port", type=int, required=True,
+                   help="stats-probe port (a running dispatch or serve "
+                        "endpoint)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="seconds between redraws (default 1)")
+    p.add_argument("--iterations", type=int, default=0, metavar="N",
+                   help="stop after N redraws (default 0 = until Ctrl-C)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of clearing the screen "
+                        "(log-friendly)")
+    p.set_defaults(func=cmd_top)
+
     return parser
 
 
 def main(argv=None) -> int:
+    from repro.obs.tracing import maybe_enable_tracing_from_env
+
+    maybe_enable_tracing_from_env()
     args = build_parser().parse_args(argv)
     backend = getattr(args, "backend", None)
     if backend is not None:

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.metrics import Instrumented, MetricField, MetricsRegistry
 
 __all__ = [
     "AutoscalePolicy",
@@ -172,7 +173,7 @@ class AutoscaleDecision:
     stopped: int = 0
 
 
-class AutoscaleController:
+class AutoscaleController(Instrumented):
     """Reconcile a local worker-subprocess pool against dispatcher load.
 
     Parameters
@@ -192,7 +193,15 @@ class AutoscaleController:
     stats_fn, clock, sleep, popen:
         Injection points for tests: the probe call, the monotonic
         clock, the loop sleep and the process factory.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`;
+        the lifetime counters (``repro_autoscale_*``) and the pool-state
+        gauges refreshed by :meth:`poll_once` live there.
     """
+
+    spawned_total = MetricField("repro_autoscale_spawned_total")
+    crash_restarts = MetricField("repro_autoscale_crash_restarts_total")
+    stats_errors = MetricField("repro_autoscale_stats_errors_total")
 
     def __init__(
         self,
@@ -210,7 +219,9 @@ class AutoscaleController:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         popen: Optional[Callable[..., "subprocess.Popen[bytes]"]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
+        self._obs_init(metrics)
         self.host = host
         self.port = int(port)
         self.policy = policy or AutoscalePolicy()
@@ -230,9 +241,6 @@ class AutoscaleController:
         self._consecutive_failures = 0
         self._next_spawn_at = 0.0
         self.events: List[ScaleEvent] = []
-        self.stats_errors = 0
-        self.spawned_total = 0
-        self.crash_restarts = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -330,12 +338,16 @@ class AutoscaleController:
             # garbled reply as ProtocolError) — an outage, not a crash.
             self.stats_errors += 1
             self._event("stats-error", None, str(exc))
+            self.metrics.gauge("repro_autoscale_alive_workers").set(self.alive)
             return AutoscaleDecision(desired=None, alive=self.alive)
 
         desired = desired_workers(stats, self.policy)
         queues = stats.get("queues") or {}
         depth = int(queues.get("depth", 0) or 0)
         inflight = int(queues.get("inflight", 0) or 0)
+        self.metrics.gauge("repro_autoscale_desired_workers").set(desired)
+        self.metrics.gauge("repro_autoscale_queue_depth").set(depth)
+        self.metrics.gauge("repro_autoscale_inflight").set(inflight)
 
         spawned = 0
         while self.alive < desired and self._clock() >= self._next_spawn_at:
@@ -354,6 +366,7 @@ class AutoscaleController:
                 self._event("stop", managed.name, "idle scale-down")
                 stopped += 1
 
+        self.metrics.gauge("repro_autoscale_alive_workers").set(self.alive)
         return AutoscaleDecision(
             desired=desired, alive=self.alive, depth=depth,
             inflight=inflight, spawned=spawned, stopped=stopped,

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.devices.technology import Technology, ptm22
 from repro.errors import ConfigurationError
+from repro.obs.tracing import get_tracer
 from repro.rng import DEFAULT_SEED, resolve_seed
 from repro.runtime import DEFAULT_BLOCK_SAMPLES
 from repro.sram.area import bitcell_area
@@ -198,40 +199,64 @@ class DagRun:
         bounds each job node's dispatch call, not the whole run.
         """
         futures: Dict[str, Future] = {}
+        # Duck-typed stand-in dispatchers (tests, local oracles) may lack
+        # the observability surface — fall back to the process default.
+        tracer = getattr(dispatcher, "tracer", None)
+        if tracer is None:
+            tracer = get_tracer()
+        dag_span = tracer.start_span(
+            "dag.run", attrs={"nodes": len(self._order)}
+        )
 
         def _execute(node: DagNode) -> Any:
             upstream = {dep: futures[dep].result() for dep in node.deps}
-            if node.compute is not None:
-                return node.compute(upstream)
-            assert node.jobs_fn is not None
-            jobs = list(node.jobs_fn(upstream))
-            if not jobs:
-                raise ConfigurationError(
-                    f"node {node.name!r} produced no jobs"
+            with tracer.start_span(
+                f"dag.node:{node.name}",
+                parent=dag_span,
+                attrs={"deps": list(node.deps)},
+            ) as node_span:
+                if node.compute is not None:
+                    return node.compute(upstream)
+                assert node.jobs_fn is not None
+                jobs = list(node.jobs_fn(upstream))
+                if not jobs:
+                    raise ConfigurationError(
+                        f"node {node.name!r} produced no jobs"
+                    )
+                extra: Dict[str, Any] = {}
+                ctx = node_span.context()
+                if ctx is not None:
+                    # Only real spans thread through: keeps stand-in
+                    # dispatchers without the kwarg working untraced.
+                    extra["trace_parent"] = ctx
+                merged = dispatcher.dispatch(
+                    jobs, decode=node.decode, merge=node.merge,
+                    timeout=timeout, client=f"dag:{node.name}",
+                    priority=node.priority, **extra,
                 )
-            merged = dispatcher.dispatch(
-                jobs, decode=node.decode, merge=node.merge,
-                timeout=timeout, client=f"dag:{node.name}",
-                priority=node.priority,
-            )
-            if node.finalize is not None:
-                return node.finalize(merged, upstream)
-            return merged
+                if node.finalize is not None:
+                    return node.finalize(merged, upstream)
+                return merged
 
         # Submission in topological order makes the bounded pool
         # deadlock-free: FIFO pickup means a node only ever blocks on
         # dependencies that started strictly earlier, so the earliest
         # unfinished node is always actively running.
-        with ThreadPoolExecutor(
-            max_workers=min(self.max_parallel, len(self._order)),
-            thread_name_prefix="repro-dag",
-        ) as pool:
-            for node in self._order:
-                futures[node.name] = pool.submit(_execute, node)
-            # Surface the first failure in dependency order (its
-            # dependents fail with the same exception when they wait).
-            for node in self._order:
-                futures[node.name].result()
+        try:
+            with ThreadPoolExecutor(
+                max_workers=min(self.max_parallel, len(self._order)),
+                thread_name_prefix="repro-dag",
+            ) as pool:
+                for node in self._order:
+                    futures[node.name] = pool.submit(_execute, node)
+                # Surface the first failure in dependency order (its
+                # dependents fail with the same exception when they wait).
+                for node in self._order:
+                    futures[node.name].result()
+        except BaseException:
+            dag_span.end(status="error")
+            raise
+        dag_span.end()
         return {name: future.result() for name, future in futures.items()}
 
 

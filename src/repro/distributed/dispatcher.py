@@ -58,12 +58,20 @@ import asyncio
 import heapq
 import threading
 from collections import deque
-from dataclasses import asdict, dataclass, field
 from typing import (
     Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple,
 )
 
 from repro.errors import ReproError
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import (
+    STATS_VERSION,
+    Instrumented,
+    LabeledCounterMap,
+    MetricField,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, SpanLike, TraceContext, Tracer, get_tracer
 from repro.distributed.jobs import ShardJob
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
@@ -86,8 +94,7 @@ class DispatchError(ReproError):
     """A distributed run could not complete (retries exhausted, …)."""
 
 
-@dataclass
-class DispatcherStats:
+class DispatcherStats(Instrumented):
     """Counters describing one dispatcher's lifetime of work.
 
     ``completed`` splits by where the answer came from: ``store_hits``
@@ -101,27 +108,46 @@ class DispatcherStats:
     the backup answer arrived first; ``per_worker`` maps worker name →
     assignments, which is how an operator (or the smoke test) sees who
     did what.
+
+    Every field is backed by a series in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (a private one unless
+    ``registry`` is passed), so the same numbers the ``stats`` probe
+    reports are scrapeable as ``repro_dispatch_*`` Prometheus series.
     """
 
-    jobs: int = 0
-    completed: int = 0
-    store_hits: int = 0
-    worker_cache_hits: int = 0
-    computed: int = 0
-    assignments: int = 0
-    retries: int = 0
-    drain_requeues: int = 0
-    speculations: int = 0
-    speculative_wins: int = 0
-    failures: int = 0
-    workers_seen: int = 0
-    workers_lost: int = 0
-    active_workers: int = 0
-    per_worker: Dict[str, int] = field(default_factory=dict)
+    jobs = MetricField("repro_dispatch_jobs_total")
+    completed = MetricField("repro_dispatch_completed_total")
+    store_hits = MetricField("repro_dispatch_store_hits_total")
+    worker_cache_hits = MetricField("repro_dispatch_worker_cache_hits_total")
+    computed = MetricField("repro_dispatch_computed_total")
+    assignments = MetricField("repro_dispatch_assignments_total")
+    retries = MetricField("repro_dispatch_retries_total")
+    drain_requeues = MetricField("repro_dispatch_drain_requeues_total")
+    speculations = MetricField("repro_dispatch_speculations_total")
+    speculative_wins = MetricField("repro_dispatch_speculative_wins_total")
+    failures = MetricField("repro_dispatch_failures_total")
+    workers_seen = MetricField("repro_dispatch_workers_seen_total")
+    workers_lost = MetricField("repro_dispatch_workers_lost_total")
+    active_workers = MetricField("repro_dispatch_active_workers", kind="gauge")
+
+    _FIELDS = (
+        "jobs", "completed", "store_hits", "worker_cache_hits", "computed",
+        "assignments", "retries", "drain_requeues", "speculations",
+        "speculative_wins", "failures", "workers_seen", "workers_lost",
+        "active_workers",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self._obs_init(registry)
+        self.per_worker = LabeledCounterMap(
+            self, "repro_dispatch_worker_assignments_total", "worker"
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able snapshot (the ``stats`` probe response)."""
-        return asdict(self)
+        out: Dict[str, Any] = {name: getattr(self, name) for name in self._FIELDS}
+        out["per_worker"] = self.per_worker.to_dict()
+        return out
 
     def summary(self) -> str:
         return (
@@ -178,6 +204,10 @@ class _JobState:
         self.started: Dict[_WorkerConn, float] = {}
         #: A backup copy has been launched for the current attempt.
         self.speculated = False
+        #: Trace span covering the job's whole dispatch lifetime.
+        self.span: SpanLike = NULL_SPAN
+        #: One open span per in-flight assignment (ends on win/loss/retry).
+        self.assign_spans: Dict[_WorkerConn, SpanLike] = {}
 
 
 class _Run:
@@ -284,6 +314,9 @@ class ShardDispatcher:
         speculation_quantile: float = 0.75,
         speculation_factor: float = 3.0,
         speculation_min_samples: int = 5,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        flight_capacity: int = 512,
     ):
         if max_retries < 0:
             raise DispatchError(f"max_retries must be >= 0, got {max_retries}")
@@ -324,7 +357,20 @@ class ShardDispatcher:
         self.speculation_quantile = float(speculation_quantile)
         self.speculation_factor = float(speculation_factor)
         self.speculation_min_samples = int(speculation_min_samples)
-        self.stats = DispatcherStats()
+        self.stats = DispatcherStats(metrics)
+        #: Registry backing ``stats`` (private unless injected) — also
+        #: carries the live queue/latency gauges and the compute-latency
+        #: histogram, so one ``render_prometheus()`` covers everything.
+        self.metrics = self.stats.metrics
+        self.tracer = tracer if tracer is not None else get_tracer()
+        #: Ring buffer of fleet events (worker churn, retries,
+        #: speculation); dumpable via the ``flight`` probe or
+        #: :meth:`repro.obs.flight.FlightRecorder.dump` on crash.
+        self.flight = FlightRecorder(flight_capacity)
+        self._compute_hist = self.metrics.histogram("repro_dispatch_compute_seconds")
+        self.metrics.add_collector(self._publish_gauges)
+        self._gauge_kinds: Set[str] = set()
+        self._gauge_clients: Set[str] = set()
         self._workers: Set[_WorkerConn] = set()
         self._idle: Deque[_WorkerConn] = deque()
         #: Per-client priority heaps of (priority, seq, state).
@@ -376,6 +422,7 @@ class ShardDispatcher:
         merge: Optional[Callable[[Sequence[Any]], Any]] = None,
         client: str = "default",
         priority: int = 0,
+        trace_parent: Optional[TraceContext] = None,
     ) -> Any:
         """Execute ``jobs`` on the fleet; return the (merged) results.
 
@@ -404,6 +451,11 @@ class ShardDispatcher:
                 f"{', '.join(sorted(clash))}"
             )
         run = _Run(jobs, decode, merge, client=str(client))
+        run_span = self.tracer.start_span(
+            "dispatch.run",
+            parent=trace_parent,
+            attrs={"client": run.client, "jobs": len(jobs)},
+        )
         try:
             loop = asyncio.get_running_loop()
             if self.store is None:
@@ -425,16 +477,33 @@ class ShardDispatcher:
                 if hit is not None:
                     self.stats.store_hits += 1
                     self.stats.completed += 1
+                    hit_span = self.tracer.start_span(
+                        f"job:{job.kind}",
+                        parent=run_span,
+                        attrs={"job_id": job.job_id, "outcome": "store_hit"},
+                    )
+                    hit_span.end()
                     run.accept(position, hit)
                 else:
                     state = _JobState(
                         job, run, position,
                         client=run.client, priority=int(priority),
                     )
+                    state.span = self.tracer.start_span(
+                        f"job:{job.kind}",
+                        parent=run_span,
+                        attrs={"job_id": job.job_id},
+                    )
                     self._outstanding[job.job_id] = state
                     self._enqueue(state)
             self._pump()
-            return await run.future
+            result = await run.future
+            run_span.add_event("merged")
+            run_span.end()
+            return result
+        except BaseException:
+            run_span.end(status="error")
+            raise
         finally:
             self._purge_run(run)
 
@@ -540,6 +609,7 @@ class ShardDispatcher:
         timeout: Optional[float] = None,
         client: str = "default",
         priority: int = 0,
+        trace_parent: Optional[TraceContext] = None,
     ) -> Any:
         """Blocking :meth:`run` against the daemon-thread event loop.
 
@@ -551,7 +621,8 @@ class ShardDispatcher:
             raise DispatchError("dispatcher is not started (call start())")
         future = asyncio.run_coroutine_threadsafe(
             self.run(jobs, decode=decode, merge=merge,
-                     client=client, priority=priority),
+                     client=client, priority=priority,
+                     trace_parent=trace_parent),
             self._loop,
         )
         return future.result(timeout)
@@ -653,6 +724,20 @@ class ShardDispatcher:
             state.speculated = True
             state.speculative.add(worker)
             self.stats.speculations += 1
+            self.flight.record(
+                "speculation_start",
+                job_id=state.job.job_id, worker=worker.name,
+            )
+        state.assign_spans[worker] = self.tracer.start_span(
+            "assign",
+            parent=state.span,
+            attrs={
+                "job_id": state.job.job_id,
+                "worker": worker.name,
+                "speculative": speculative,
+                "attempt": state.attempts,
+            },
+        )
         self._spawn(self._send_assign(worker, state))
 
     def _speculation_cutoff(self) -> Optional[float]:
@@ -703,8 +788,15 @@ class ShardDispatcher:
             self._assign(worker, state, speculative=True)
 
     async def _send_assign(self, worker: _WorkerConn, state: _JobState) -> None:
+        payload: Dict[str, Any] = {"type": "assign", "job": state.job.to_wire()}
+        span = state.assign_spans.get(worker, NULL_SPAN)
+        ctx = span.context()
+        if ctx is not None:
+            # Additive field: protocol peers ignore unknown keys, so the
+            # trace context rides along without a version bump.
+            payload["trace"] = ctx.to_wire()
         try:
-            await worker.send({"type": "assign", "job": state.job.to_wire()})
+            await worker.send(payload)
         except (ConnectionError, OSError):
             self._retire(worker, "connection lost during assignment")
 
@@ -717,6 +809,10 @@ class ShardDispatcher:
                 state.assignees.remove(worker)
             state.started.pop(worker, None)
             state.speculative.discard(worker)
+            failed_span = state.assign_spans.pop(worker, None)
+            if failed_span is not None:
+                failed_span.set_attr("winner", False)
+                failed_span.end(status="failed")
         if self._outstanding.get(state.job.job_id) is not state:
             return  # already answered (a duplicate won the race)
         if any(not w.retired for w in state.assignees):
@@ -726,6 +822,13 @@ class ShardDispatcher:
         if state.attempts > self.max_retries:
             self.stats.failures += 1
             self._outstanding.pop(state.job.job_id, None)
+            self.flight.record(
+                "job_failed",
+                job_id=state.job.job_id,
+                attempts=state.attempts, reason=reason,
+            )
+            state.span.set_attr("attempts", state.attempts)
+            state.span.end(status="error")
             state.run.fail(DispatchError(
                 f"job {state.job.job_id} failed after "
                 f"{state.attempts} attempts: {reason}"
@@ -733,6 +836,11 @@ class ShardDispatcher:
             self._purge_run(state.run)
             return
         self.stats.retries += 1
+        self.flight.record(
+            "retry",
+            job_id=state.job.job_id,
+            attempt=state.attempts, reason=reason,
+        )
         state.speculated = False  # the fresh attempt may speculate again
         self._enqueue(state)
         self._pump()
@@ -751,12 +859,19 @@ class ShardDispatcher:
             state.assignees.remove(worker)
         state.started.pop(worker, None)
         state.speculative.discard(worker)
+        drained_span = state.assign_spans.pop(worker, None)
+        if drained_span is not None:
+            drained_span.set_attr("winner", False)
+            drained_span.end(status="requeued")
         if self._outstanding.get(state.job.job_id) is not state:
             return  # already answered
         if any(not w.retired for w in state.assignees):
             return  # a speculation partner still holds it
         state.assignees.clear()
         self.stats.drain_requeues += 1
+        self.flight.record(
+            "drain_requeue", job_id=state.job.job_id, worker=worker.name,
+        )
         state.speculated = False
         self._enqueue(state)
         self._pump()
@@ -787,6 +902,11 @@ class ShardDispatcher:
         if count_lost:
             self.stats.workers_lost += 1
         self.stats.active_workers = len(self._workers)
+        self.flight.record(
+            "worker_drain" if graceful else
+            ("worker_death" if count_lost else "worker_release"),
+            worker=worker.name, reason=reason,
+        )
         current, worker.current = worker.current, None
         try:
             worker.writer.close()
@@ -814,9 +934,14 @@ class ShardDispatcher:
                 # Worker-cache answers are near-instant; they would drag
                 # the straggler baseline toward zero and cause useless
                 # (if harmless) speculation storms.
-                self._durations.append(self._now() - started)
+                elapsed = self._now() - started
+                self._durations.append(elapsed)
+                self._compute_hist.observe(elapsed)
             if worker in state.speculative:
                 self.stats.speculative_wins += 1
+                self.flight.record(
+                    "speculation_win", job_id=job_id, worker=worker.name,
+                )
         self.stats.completed += 1
         if cached:
             self.stats.worker_cache_hits += 1
@@ -827,6 +952,20 @@ class ShardDispatcher:
                 # own store too: a worker's store may be a private
                 # directory that never reaches the shared remote tier.
                 self._spawn(self._persist(state.job, value))
+        if worker is not None:
+            winner_span = state.assign_spans.pop(worker, None)
+            if winner_span is not None:
+                winner_span.set_attr("winner", True)
+                winner_span.set_attr("cached", cached)
+                winner_span.end()
+        # Any assignment still open lost the speculation race.
+        for loser_span in state.assign_spans.values():
+            loser_span.set_attr("winner", False)
+            loser_span.end(status="lost_race")
+        state.assign_spans.clear()
+        state.span.set_attr("cached", cached)
+        state.span.set_attr("attempts", state.attempts + 1)
+        state.span.end()
         state.run.accept(state.position, value)
 
     def queue_snapshot(self) -> Dict[str, Any]:
@@ -877,6 +1016,48 @@ class ShardDispatcher:
             "p50": ordered[len(ordered) // 2],
             "max": ordered[-1],
         }
+
+    def _publish_gauges(self, registry: MetricsRegistry) -> None:
+        """Collector hook: refresh queue/latency gauges at scrape time.
+
+        Runs on the scraping thread; the snapshots only read dicts the
+        event loop mutates, and :meth:`MetricsRegistry.collect` swallows
+        the rare mid-mutation race.
+        """
+        snap = self.queue_snapshot()
+        registry.gauge("repro_dispatch_queue_depth").set(snap["depth"])
+        registry.gauge("repro_dispatch_inflight").set(snap["inflight"])
+        # Zero out kinds/clients that drained so the dashboard does not
+        # show a stale backlog forever.
+        for kind in self._gauge_kinds - set(snap["per_kind"]):
+            registry.gauge("repro_dispatch_queue_depth_kind", {"kind": kind}).set(0)
+        for client in self._gauge_clients - set(snap["per_client"]):
+            registry.gauge(
+                "repro_dispatch_queue_depth_client", {"client": client}
+            ).set(0)
+        self._gauge_kinds |= set(snap["per_kind"])
+        self._gauge_clients |= set(snap["per_client"])
+        for kind, depth in snap["per_kind"].items():
+            registry.gauge(
+                "repro_dispatch_queue_depth_kind", {"kind": kind}
+            ).set(depth)
+        for client, depth in snap["per_client"].items():
+            registry.gauge(
+                "repro_dispatch_queue_depth_client", {"client": client}
+            ).set(depth)
+        latency = self.latency_snapshot()
+        registry.gauge("repro_dispatch_latency_samples").set(latency["samples"])
+        if latency["mean"] is not None:
+            registry.gauge(
+                "repro_dispatch_latency_mean_seconds"
+            ).set(latency["mean"])
+            registry.gauge("repro_dispatch_latency_p50_seconds").set(latency["p50"])
+            registry.gauge("repro_dispatch_latency_max_seconds").set(latency["max"])
+        cutoff = self._speculation_cutoff()
+        if cutoff is not None:
+            registry.gauge(
+                "repro_dispatch_speculation_cutoff_seconds"
+            ).set(cutoff)
 
     async def _persist(self, job: ShardJob, value: Any) -> None:
         """Store one computed result off-loop (failures degrade caching
@@ -944,6 +1125,7 @@ class ShardDispatcher:
 
                 if kind == "stats":
                     stats_doc = self.stats.to_dict()
+                    stats_doc["stats_version"] = STATS_VERSION
                     # Live scheduling state rides along with the
                     # lifetime counters: queue depths (total / per job
                     # kind / per client) and the current speculation
@@ -962,6 +1144,14 @@ class ShardDispatcher:
                     await reply({
                         "type": "stats", "ok": True, "stats": stats_doc,
                     })
+                elif kind == "flight":
+                    # Flight-recorder dump: the recent-fleet-events ring
+                    # buffer, for post-hoc "what just happened" queries.
+                    await reply({
+                        "type": "flight", "ok": True,
+                        "events": self.flight.snapshot(),
+                        "recorded": self.flight.recorded,
+                    })
                 elif kind == "register":
                     if message.get("protocol") != PROTOCOL_VERSION:
                         await reply({
@@ -978,6 +1168,7 @@ class ShardDispatcher:
                     self._workers.add(worker)
                     self.stats.workers_seen += 1
                     self.stats.active_workers = len(self._workers)
+                    self.flight.record("worker_join", worker=name)
                     assert self._worker_event is not None
                     self._worker_event.set()
                     await worker.send({

@@ -43,6 +43,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.exposition import CONTENT_TYPE as OBS_CONTENT_TYPE
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.cache import CACHE_VERSION, _canonical, content_key
 from repro.runtime.tiering import CacheStore
 
@@ -212,6 +214,15 @@ class _Handler(BaseHTTPRequestHandler):
         if parsed.query == "stats":
             self._respond(200, json.dumps(state.stats()).encode())
             return
+        if parsed.path == "/metrics":
+            registry = self.server.metrics  # type: ignore[attr-defined]
+            text = registry.render_prometheus().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", OBS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(text)))
+            self.end_headers()
+            self.wfile.write(text)
+            return
         body = state.read(parsed.path)
         if body is None:
             self._respond(404, b'{"error": "no such object"}')
@@ -297,10 +308,24 @@ class FakeObjectStoreServer:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0):
         self.state = _State()
+        self.metrics = MetricsRegistry()
+        self.metrics.add_collector(self._publish_metrics)
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.daemon_threads = True
         self._server.state = self.state  # type: ignore[attr-defined]
+        self._server.metrics = self.metrics  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+
+    def _publish_metrics(self, registry: MetricsRegistry) -> None:
+        """Collector hook: mirror the store counters at scrape time."""
+        stats = self.state.stats()
+        registry.gauge("repro_objectstore_objects").set(stats["objects"])
+        registry.gauge("repro_objectstore_bytes").set(stats["bytes"])
+        registry.gauge("repro_objectstore_read_only").set(
+            int(stats["read_only"])
+        )
+        for name in ("gets", "puts", "deletes", "misses"):
+            registry.counter(f"repro_objectstore_{name}_total").set(stats[name])
 
     @property
     def address(self) -> Tuple[str, int]:

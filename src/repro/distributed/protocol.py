@@ -33,13 +33,20 @@ Dispatcher → worker
     Registration ack: ``{"type": "welcome", "heartbeat_interval": s}``.
 ``assign``
     ``{"type": "assign", "job": {...}}`` — one serialized
-    :class:`~repro.distributed.jobs.ShardJob`.
+    :class:`~repro.distributed.jobs.ShardJob`.  When tracing is
+    enabled the message additionally carries
+    ``"trace": {"trace_id": str, "span_id": str}`` — the dispatcher's
+    assignment-span context, which the worker parents its execution
+    span to.  The field is *additive*: peers ignore unknown keys, so
+    it rides along without a ``PROTOCOL_VERSION`` bump and an untraced
+    peer interoperates unchanged.
 ``shutdown``
     No more work; the worker exits cleanly.
 
 Any client (not just workers) may send ``{"type": "stats"}`` and
 receives ``{"type": "stats", "ok": true, "stats": {...}}`` — the probe
-behind ``repro-sram dispatch --stats``.
+behind ``repro-sram dispatch --stats``.  ``{"type": "flight"}``
+likewise dumps the dispatcher's flight recorder (recent fleet events).
 """
 
 from __future__ import annotations

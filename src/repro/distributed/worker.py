@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.tiering import TieredStore
 
 from repro.errors import ReproError
+from repro.obs.tracing import TraceContext, Tracer, get_tracer
 from repro.distributed.jobs import ShardJob, execute_job
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
@@ -68,12 +69,14 @@ class Worker:
         store: Optional[CacheStore] = None,
         name: Optional[str] = None,
         max_jobs: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.host = host
         self.port = int(port)
         self.store = store
         self.name = name or default_worker_name()
         self.max_jobs = max_jobs
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.jobs_done = 0
         # Serializes the heartbeat task and job-result reports on the
         # one dispatcher stream: two coroutines awaiting the same
@@ -197,26 +200,41 @@ class Worker:
         # Even an unparseable assignment should echo the claimed id so
         # the dispatcher can match the failure to its job.
         job_id = str(wire.get("job_id", "?"))
+        # The dispatcher's assignment span rides along as an additive
+        # wire field; a worker-side span parented to it stitches both
+        # processes into one trace.
+        parent = TraceContext.from_wire(message.get("trace"))
+        span = self.tracer.start_span(
+            "worker.execute",
+            parent=parent,
+            attrs={"job_id": job_id, "worker": self.name},
+        )
         try:
             job = ShardJob.from_wire(wire)
             job_id = job.job_id
+            span.set_attr("job_id", job_id)
             value, cached = await loop.run_in_executor(
                 None, execute_job, job, self.store
             )
         except asyncio.CancelledError:
+            span.end(status="cancelled")
             raise
         except ReproError as exc:
+            span.end(status="error")
             await self._send(writer, {
                 "type": "error", "job_id": job_id, "error": str(exc),
             })
         except Exception as exc:
             # A programming error behind one shard is that job's
             # failure, not the worker's: report and keep serving.
+            span.end(status="error")
             await self._send(writer, {
                 "type": "error", "job_id": job_id,
                 "error": f"internal error ({type(exc).__name__}): {exc}",
             })
         else:
+            span.set_attr("cached", cached)
+            span.end()
             await self._send(writer, {
                 "type": "result", "job_id": job_id,
                 "value": value, "cached": cached,
@@ -244,6 +262,7 @@ def run_worker(
     lru_entries: Optional[int] = None,
     lru_bytes: Optional[int] = None,
     ttl: Optional[float] = None,
+    metrics_port: Optional[int] = None,
 ) -> int:
     """Blocking worker entry point (the ``repro-sram worker`` command).
 
@@ -291,12 +310,23 @@ def run_worker(
         name=name,
         max_jobs=max_jobs,
     )
+    metrics_server = None
+    if metrics_port is not None:
+        from repro.obs import MetricsServer, bind_store_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        bind_store_metrics(registry, store, component="worker")
+        metrics_server = MetricsServer(registry, port=metrics_port).start()
+        print(f"worker {worker.name}: metrics on {metrics_server.url}")
     try:
         done = asyncio.run(worker.run())
     except (ConnectionError, OSError, ProtocolError) as exc:
         print(f"worker {worker.name}: {exc}")
         return 1
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         if tiered is not None:
             # Drain write-behind before exit so a short-lived worker's
             # results still reach the shared remote tier.

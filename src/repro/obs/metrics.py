@@ -1,0 +1,527 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+This is the single source of truth for every statistic the system
+exposes.  The existing ad-hoc stats dataclasses (``DispatcherStats``,
+``ServingStats``, ``TierStats``, the tiered-store write-behind
+counters) are *facades* over series owned by a
+:class:`MetricsRegistry`: attribute reads and writes go through
+:class:`MetricField` descriptors, so fifty existing ``stats.x += 1``
+call sites keep working verbatim while ``/metrics`` and the ``stats``
+probes render from one consistent store.
+
+Design constraints honoured here:
+
+- zero third-party dependencies (stdlib ``threading`` only);
+- thread safety: every series guards mutation with its own lock, the
+  registry guards series creation with an ``RLock``;
+- picklable: stores carrying a ``TierStats`` travel into spawn-based
+  sweep workers, so registries and series drop their locks on
+  ``__getstate__`` and regrow them on ``__setstate__``;
+- integer-preserving: counters started from ``0`` stay ``int`` until a
+  float is observed, so JSON wire formats keep emitting ``3`` rather
+  than ``3.0``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "STATS_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumented",
+    "LabeledCounterMap",
+    "MetricField",
+    "MetricsRegistry",
+    "default_registry",
+    "metric_fields",
+    "set_default_registry",
+]
+
+#: Version of the stats-probe document schema.  Bumped whenever the
+#: shape of a probe response changes incompatibly.
+STATS_VERSION = 1
+
+LabelItems = Tuple[Tuple[str, str], ...]
+Number = Union[int, float]
+
+#: Default latency buckets (seconds) for histograms, spanning the
+#: observed shard-compute range from sub-10ms cache hits to minutes.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _label_items(labels: Optional[Mapping[str, Any]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: LabelItems) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class _SeriesBase:
+    """Shared plumbing for a single (name, labels) series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}{_format_labels(self.labels)}>"
+
+
+class Counter(_SeriesBase):
+    """Monotonic-by-convention numeric series.
+
+    ``set`` exists as the write seam for the stats facades (so
+    ``stats.retries += 1`` — a read-modify-write through a descriptor —
+    works); exporters treat the series as a counter.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        super().__init__(name, labels)
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Gauge(Counter):
+    """A series that goes up and down (pool sizes, queue depths)."""
+
+    kind = "gauge"
+
+
+class Histogram(_SeriesBase):
+    """Fixed-bucket histogram of observations (e.g. compute seconds)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: LabelItems = (),
+    ) -> None:
+        super().__init__(name, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(nxt <= prev for nxt, prev in zip(bounds[1:], bounds)):
+            raise ValueError("histogram buckets must be strictly increasing and non-empty")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """Cumulative (upper-bound, count) pairs, Prometheus-style."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        with self._lock:
+            for bound, count in zip(self.buckets, self._counts):
+                running += count
+                out.append((repr(bound), running))
+            out.append(("+Inf", running + self._counts[-1]))
+        return out
+
+    @property
+    def value(self) -> Dict[str, Any]:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": {bound: count for bound, count in self.cumulative()},
+        }
+
+
+Series = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Thread-safe, picklable home for every metric series.
+
+    Components default to a *private* registry (so two dispatchers in
+    one test process never share counters); CLI entry points pass the
+    process-default registry so one ``/metrics`` endpoint exposes the
+    whole process.  ``add_collector`` registers callbacks that publish
+    live state (queue depths, pool sizes) as gauges just before a
+    snapshot or exposition render.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._series: Dict[Tuple[str, LabelItems], Series] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- series creation ------------------------------------------------
+
+    def _get_or_create(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]],
+        factory: Callable[[str, LabelItems], Series],
+        kind: str,
+    ) -> Series:
+        items = _label_items(labels)
+        key = (name, items)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = factory(name, items)
+                self._series[key] = series
+            elif series.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {series.kind}, not {kind}"
+                )
+            return series
+
+    def counter(self, name: str, labels: Optional[Mapping[str, Any]] = None) -> Counter:
+        series = self._get_or_create(name, labels, Counter, "counter")
+        assert isinstance(series, Counter)
+        return series
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, Any]] = None) -> Gauge:
+        series = self._get_or_create(name, labels, Gauge, "gauge")
+        assert isinstance(series, Gauge)
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: Optional[Mapping[str, Any]] = None,
+    ) -> Histogram:
+        series = self._get_or_create(
+            name, labels, lambda n, items: Histogram(n, buckets, items), "histogram"
+        )
+        assert isinstance(series, Histogram)
+        return series
+
+    # -- collectors -----------------------------------------------------
+
+    def add_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        with self._lock:
+            self._collectors.append(fn)
+
+    def collect(self) -> None:
+        """Run collectors; a broken collector never breaks a scrape."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for fn in collectors:
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 - scrape must survive races
+                pass
+
+    # -- export ---------------------------------------------------------
+
+    def series(self) -> List[Series]:
+        self.collect()
+        with self._lock:
+            return sorted(self._series.values(), key=lambda s: (s.name, s.labels))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dump of every series (used by benchmarks)."""
+        return {
+            "stats_version": STATS_VERSION,
+            "series": [
+                {
+                    "name": s.name,
+                    "kind": s.kind,
+                    "labels": dict(s.labels),
+                    "value": s.value,
+                }
+                for s in self.series()
+            ],
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        typed: set = set()
+        for series in self.series():
+            if series.name not in typed:
+                typed.add(series.name)
+                lines.append(f"# TYPE {series.name} {series.kind}")
+            if isinstance(series, Histogram):
+                for bound, count in series.cumulative():
+                    items = series.labels + (("le", bound),)
+                    lines.append(f"{series.name}_bucket{_format_labels(items)} {count}")
+                label_str = _format_labels(series.labels)
+                lines.append(f"{series.name}_sum{label_str} {series.sum}")
+                lines.append(f"{series.name}_count{label_str} {series.count}")
+            else:
+                lines.append(f"{series.name}{_format_labels(series.labels)} {series.value}")
+        return "\n".join(lines) + "\n"
+
+    # -- pickling -------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        # Collector closures capture live objects (dispatchers, HTTP
+        # server state); they never survive a hop to another process.
+        state["_collectors"] = []
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+
+_default_lock = threading.Lock()
+_default_registry: Optional[MetricsRegistry] = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry used by CLI entry points."""
+    global _default_registry
+    with _default_lock:
+        if _default_registry is None:
+            _default_registry = MetricsRegistry()
+        return _default_registry
+
+
+def set_default_registry(registry: Optional[MetricsRegistry]) -> None:
+    """Replace the process-default registry (tests; ``None`` resets)."""
+    global _default_registry
+    with _default_lock:
+        _default_registry = registry
+
+
+# ---------------------------------------------------------------------------
+# Stats-facade plumbing
+
+
+class MetricField:
+    """Descriptor mapping an attribute onto a registry series.
+
+    ``stats.retries += 1`` reads the counter, adds one, and writes the
+    result back — exactly what the pre-registry dataclasses did, but
+    against the shared store.
+    """
+
+    def __init__(self, metric: str, kind: str = "counter") -> None:
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"unsupported metric field kind: {kind!r}")
+        self.metric = metric
+        self.kind = kind
+        self.attr = ""
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.attr = name
+
+    def __get__(self, obj: Any, objtype: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        return obj._obs_series(self.metric, self.kind).value
+
+    def __set__(self, obj: Any, value: Number) -> None:
+        obj._obs_series(self.metric, self.kind).set(value)
+
+
+def metric_fields(cls: type) -> List[MetricField]:
+    """Every :class:`MetricField` declared on ``cls`` (MRO order)."""
+    out: List[MetricField] = []
+    seen: set = set()
+    for klass in cls.__mro__:
+        for name, attr in vars(klass).items():
+            if isinstance(attr, MetricField) and name not in seen:
+                seen.add(name)
+                out.append(attr)
+    return out
+
+
+class Instrumented:
+    """Mixin giving a class registry-backed :class:`MetricField` attrs.
+
+    Subclasses call ``_obs_init(registry, labels)`` in ``__init__``;
+    classes that can be revived without ``__init__`` (unpickling) fall
+    back to a lazily created private registry.
+    """
+
+    def _obs_init(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self._obs_registry = registry if registry is not None else MetricsRegistry()
+        self._obs_labels: Dict[str, str] = {str(k): str(v) for k, v in (labels or {}).items()}
+        self._obs_cache: Dict[str, Series] = {}
+        # Materialise every declared field at zero so expositions show
+        # the full catalogue before the first event.
+        for field in metric_fields(type(self)):
+            self._obs_series(field.metric, field.kind)
+
+    def _obs_series(self, metric: str, kind: str) -> Any:
+        cache = self.__dict__.get("_obs_cache")
+        if cache is None:
+            self._obs_init()
+            cache = self.__dict__["_obs_cache"]
+        series = cache.get(metric)
+        if series is None:
+            registry: MetricsRegistry = self.__dict__["_obs_registry"]
+            if kind == "gauge":
+                series = registry.gauge(metric, self._obs_labels)
+            else:
+                series = registry.counter(metric, self._obs_labels)
+            cache[metric] = series
+        return series
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        if "_obs_registry" not in self.__dict__:
+            self._obs_init()
+        return self._obs_registry
+
+    def bind_metrics(
+        self,
+        registry: MetricsRegistry,
+        labels: Optional[Mapping[str, Any]] = None,
+    ) -> "Instrumented":
+        """Re-home this facade onto ``registry``, carrying values over.
+
+        Used by CLI entry points to gather component-private series
+        into the one registry their ``/metrics`` endpoint exposes.
+        """
+        fields = metric_fields(type(self))
+        values = {f.attr: getattr(self, f.attr) for f in fields}
+        maps: Dict[str, Dict[str, Number]] = {
+            name: m.to_dict() for name, m in self.__dict__.get("_obs_maps", {}).items()
+        }
+        self._obs_registry = registry
+        self._obs_labels = {str(k): str(v) for k, v in (labels or {}).items()}
+        self._obs_cache = {}
+        for f in fields:
+            setattr(self, f.attr, values[f.attr])
+        for name, snapshot in maps.items():
+            family = self.__dict__["_obs_maps"][name]
+            family.rebind(snapshot)
+        return self
+
+
+class LabeledCounterMap:
+    """Dict-like view over a labeled counter family.
+
+    Backs ``DispatcherStats.per_worker``: reads and writes behave like
+    a plain ``Dict[str, int]`` (including ``==`` against dicts), while
+    values live in per-label registry series such as
+    ``repro_dispatch_worker_assignments_total{worker="w0"}``.
+    """
+
+    def __init__(self, owner: Instrumented, metric: str, label: str) -> None:
+        self._owner = owner
+        self._metric = metric
+        self._label = label
+        self._keys: List[str] = []
+        owner.__dict__.setdefault("_obs_maps", {})[metric] = self
+
+    def _series(self, key: str) -> Counter:
+        registry: MetricsRegistry = self._owner.metrics
+        labels = dict(self._owner._obs_labels)
+        labels[self._label] = key
+        return registry.counter(self._metric, labels)
+
+    def __getitem__(self, key: str) -> Number:
+        if key not in self._keys:
+            raise KeyError(key)
+        return self._series(key).value
+
+    def get(self, key: str, default: Optional[Number] = None) -> Optional[Number]:
+        if key not in self._keys:
+            return default
+        return self._series(key).value
+
+    def __setitem__(self, key: str, value: Number) -> None:
+        if key not in self._keys:
+            self._keys.append(key)
+        self._series(key).set(value)
+
+    def inc(self, key: str, amount: Number = 1) -> None:
+        if key not in self._keys:
+            self._keys.append(key)
+        self._series(key).inc(amount)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._keys
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(list(self._keys))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> List[str]:
+        return list(self._keys)
+
+    def items(self) -> List[Tuple[str, Number]]:
+        return [(k, self._series(k).value) for k in self._keys]
+
+    def to_dict(self) -> Dict[str, Number]:
+        return dict(self.items())
+
+    def rebind(self, snapshot: Mapping[str, Number]) -> None:
+        """Recreate the family in the owner's (new) registry."""
+        self._keys = list(snapshot)
+        for key, value in snapshot.items():
+            self._series(key).set(value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LabeledCounterMap):
+            return self.to_dict() == other.to_dict()
+        if isinstance(other, Mapping):
+            return self.to_dict() == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LabeledCounterMap({self.to_dict()!r})"

@@ -1,0 +1,332 @@
+"""Distributed tracing: spans, wire-propagated contexts, exporters.
+
+The model is deliberately small: a :class:`Tracer` mints spans, a
+:class:`TraceContext` is the (trace_id, span_id) pair that crosses the
+JSON-lines protocol as an additive ``"trace"`` field on ``assign``
+messages (both peers ignore unknown fields, so no protocol bump), and
+finished spans can be exported as JSON-lines span logs or a Chrome
+trace-event document loadable in Perfetto.
+
+The process-default tracer is *disabled*: ``start_span`` returns a
+shared no-op span, so the instrumented hot paths cost one method call
+when tracing is off.  Tests flip on ``deterministic=True`` to get
+stable ``t0001``/``s0001`` ids.  Tracing never alters computed values
+— byte-identity of merged results is asserted with tracing on by the
+chaos tracing suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace_document",
+    "get_tracer",
+    "maybe_enable_tracing_from_env",
+    "set_tracer",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of a span: what children parent to."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @staticmethod
+    def from_wire(obj: Any) -> Optional["TraceContext"]:
+        if not isinstance(obj, Mapping):
+            return None
+        trace_id = obj.get("trace_id")
+        span_id = obj.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+ParentLike = Union["TraceContext", "Span", None]
+
+
+class Span:
+    """One timed operation.  Usable as a context manager."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_ts",
+        "_t0",
+        "duration",
+        "status",
+        "attrs",
+        "events",
+        "ended",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ts = time.time()
+        self._t0 = time.perf_counter()
+        self.duration = 0.0
+        self.status = "ok"
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.events: List[Dict[str, Any]] = []
+        self.ended = False
+
+    def context(self) -> Optional[TraceContext]:
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def add_event(self, name: str, **fields: Any) -> None:
+        self.events.append({"name": name, "ts": time.time(), **fields})
+
+    def end(self, status: Optional[str] = None) -> None:
+        if self.ended:
+            return
+        self.ended = True
+        self.duration = time.perf_counter() - self._t0
+        if status is not None:
+            self.status = status
+        self._tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.end(status="error" if exc_type is not None else None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ts": self.start_ts,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+            "events": list(self.events),
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id: Optional[str] = None
+    status = "ok"
+    ended = True
+
+    def context(self) -> Optional[TraceContext]:
+        return None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def end(self, status: Optional[str] = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+SpanLike = Union[Span, _NullSpan]
+
+
+class Tracer:
+    """Mints spans and retains finished ones for export.
+
+    ``deterministic=True`` replaces ``os.urandom`` ids with per-tracer
+    counters (``t0001``, ``s0001``, ...) so tests can assert exact span
+    identities.  Finished spans are kept in insertion (end) order up to
+    ``max_spans``.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        deterministic: bool = False,
+        max_spans: int = 100_000,
+    ) -> None:
+        self.enabled = enabled
+        self.deterministic = deterministic
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._trace_seq = 0
+        self._span_seq = 0
+        self.spans: List[Span] = []
+
+    def _new_trace_id(self) -> str:
+        if self.deterministic:
+            with self._lock:
+                self._trace_seq += 1
+                return f"t{self._trace_seq:04d}"
+        return os.urandom(8).hex()
+
+    def _new_span_id(self) -> str:
+        if self.deterministic:
+            with self._lock:
+                self._span_seq += 1
+                return f"s{self._span_seq:04d}"
+        return os.urandom(8).hex()
+
+    def start_span(
+        self,
+        name: str,
+        parent: ParentLike = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> SpanLike:
+        if not self.enabled:
+            return NULL_SPAN
+        ctx: Optional[TraceContext]
+        if isinstance(parent, Span):
+            ctx = parent.context()
+        elif isinstance(parent, _NullSpan):
+            ctx = None
+        else:
+            ctx = parent
+        if ctx is None:
+            trace_id = self._new_trace_id()
+            parent_id: Optional[str] = None
+        else:
+            trace_id = ctx.trace_id
+            parent_id = ctx.span_id
+        return Span(self, name, trace_id, self._new_span_id(), parent_id, attrs)
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            if len(self.spans) < self.max_spans:
+                self.spans.append(span)
+
+    # -- export ---------------------------------------------------------
+
+    def finished(self) -> List[Span]:
+        with self._lock:
+            return list(self.spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans = []
+
+    def export_jsonl(self, path: str) -> int:
+        """Write finished spans as JSON lines; returns the span count."""
+        spans = self.finished()
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return chrome_trace_document(self.finished())
+
+    def write_chrome_trace(self, path: str) -> int:
+        doc = self.chrome_trace()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+        return len(doc["traceEvents"])
+
+
+def chrome_trace_document(spans: List[Span]) -> Dict[str, Any]:
+    """Convert spans to Chrome trace-event JSON (Perfetto-loadable).
+
+    Every span becomes a complete (``"ph": "X"``) event; spans of one
+    trace share a ``tid`` so Perfetto renders each trace as a track.
+    """
+    pid = os.getpid()
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        tid = tids.setdefault(span.trace_id, len(tids) + 1)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start_ts * 1e6,
+                "dur": max(span.duration, 0.0) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "status": span.status,
+                    **span.attrs,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+_tracer_lock = threading.Lock()
+_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-default tracer (disabled unless explicitly enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> None:
+    global _tracer
+    with _tracer_lock:
+        _tracer = tracer
+
+
+def maybe_enable_tracing_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[Tracer]:
+    """Enable the default tracer when ``REPRO_TRACE`` is set.
+
+    ``REPRO_TRACE=1`` turns tracing on; ``REPRO_TRACE_DETERMINISTIC=1``
+    additionally pins ids.  Returns the new tracer, or ``None`` when
+    tracing stays off.  Called once from the CLI entry point.
+    """
+    env = os.environ if environ is None else environ
+    if not env.get("REPRO_TRACE"):
+        return None
+    tracer = Tracer(
+        enabled=True,
+        deterministic=bool(env.get("REPRO_TRACE_DETERMINISTIC")),
+    )
+    set_tracer(tracer)
+    return tracer

@@ -33,15 +33,19 @@ Semantics, TTL rules and store-URL configuration are documented in
 from __future__ import annotations
 
 import json
+import logging
 import random
 import threading
 import time
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Protocol, Tuple
 
+from repro.obs.flight import FlightRecorder, get_flight_recorder
+from repro.obs.metrics import Instrumented, MetricField, MetricsRegistry
 from repro.runtime.cache import CACHE_VERSION, _canonical, content_key
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CacheLike",
@@ -88,8 +92,7 @@ def value_bytes(value: Any) -> int:
     )
 
 
-@dataclass
-class TierStats:
+class TierStats(Instrumented):
     """Per-tier counters: hits/misses, bytes, latency, failures.
 
     ``errors`` counts backend failures (unreachable store, failed
@@ -98,18 +101,37 @@ class TierStats:
     displacements; both are zero for tiers without the mechanism.
     Latency is accumulated seconds, so ``get_seconds / (hits + misses)``
     is the mean read latency of the tier.
+
+    Counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    (private by default; CLI entry points rebind them into the
+    process registry via :meth:`~repro.obs.metrics.Instrumented.
+    bind_metrics` so ``/metrics`` exposes every tier).
     """
 
-    hits: int = 0
-    misses: int = 0
-    puts: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-    errors: int = 0
-    evictions: int = 0
-    expirations: int = 0
-    get_seconds: float = 0.0
-    put_seconds: float = 0.0
+    hits = MetricField("repro_cache_hits_total")
+    misses = MetricField("repro_cache_misses_total")
+    puts = MetricField("repro_cache_puts_total")
+    bytes_read = MetricField("repro_cache_bytes_read_total")
+    bytes_written = MetricField("repro_cache_bytes_written_total")
+    errors = MetricField("repro_cache_errors_total")
+    evictions = MetricField("repro_cache_evictions_total")
+    expirations = MetricField("repro_cache_expirations_total")
+    get_seconds = MetricField("repro_cache_get_seconds_total")
+    put_seconds = MetricField("repro_cache_put_seconds_total")
+
+    _FIELDS = (
+        "hits", "misses", "puts", "bytes_read", "bytes_written",
+        "errors", "evictions", "expirations", "get_seconds", "put_seconds",
+    )
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._obs_init(registry, labels)
+        self.get_seconds = 0.0
+        self.put_seconds = 0.0
 
     def record_get(self, value: Optional[Any], seconds: float) -> None:
         if value is None:
@@ -126,7 +148,7 @@ class TierStats:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able snapshot (latency rounded to microseconds)."""
-        out = asdict(self)
+        out: Dict[str, Any] = {name: getattr(self, name) for name in self._FIELDS}
         out["get_seconds"] = round(out["get_seconds"], 6)
         out["put_seconds"] = round(out["put_seconds"], 6)
         return out
@@ -302,7 +324,7 @@ class MemoryLRUStore(CacheStore):
 _STOP = object()
 
 
-class TieredStore(CacheStore):
+class TieredStore(CacheStore, Instrumented):
     """Read-through / write-behind composition of up to three tiers.
 
     Parameters
@@ -328,8 +350,16 @@ class TieredStore(CacheStore):
     synchronously; the ``remote`` write happens behind the caller's
     back on the flusher thread — a slow or dead object store never
     stalls a computation (fail-open), it only shows up in
-    :meth:`stats` as retries, errors and drops.
+    :meth:`stats` as retries, errors and drops.  Every dropped
+    write-behind entry additionally emits a WARNING log and a
+    flight-recorder ``write_behind_drop`` event carrying the dropped
+    content address, so silent cache erosion is observable.
     """
+
+    queued = MetricField("repro_cache_write_behind_queued_total")
+    flushed = MetricField("repro_cache_write_behind_flushed_total")
+    retried = MetricField("repro_cache_write_behind_retried_total")
+    dropped = MetricField("repro_cache_write_behind_dropped_total")
 
     def __init__(
         self,
@@ -340,8 +370,12 @@ class TieredStore(CacheStore):
         flush_retries: int = 4,
         flush_backoff: float = 0.05,
         flush_backoff_cap: float = 2.0,
+        metrics: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightRecorder] = None,
     ):
         super().__init__()
+        self._obs_init(metrics)
+        self._flight = flight
         if memory is None and local is None and remote is None:
             raise ValueError("a TieredStore needs at least one tier")
         if flush_queue < 1:
@@ -360,12 +394,35 @@ class TieredStore(CacheStore):
         self.flush_retries = int(flush_retries)
         self.flush_backoff = float(flush_backoff)
         self.flush_backoff_cap = float(flush_backoff_cap)
-        # Write-behind counters (the "write_behind" stats block).
+        # Write-behind counters (the "write_behind" stats block) —
+        # registry-backed via the MetricField descriptors above.
         self.queued = 0
         self.flushed = 0
         self.retried = 0
         self.dropped = 0
         self._init_runtime()
+
+    def _recorder(self) -> FlightRecorder:
+        flight = self.__dict__.get("_flight")
+        return flight if flight is not None else get_flight_recorder()
+
+    def _record_drop(self, namespace: str, payload: Dict[str, Any], reason: str) -> None:
+        """A write-behind entry is lost: make it loud and structured."""
+        version = getattr(self.remote, "version", CACHE_VERSION)
+        address = content_key(namespace, payload, version)
+        logger.warning(
+            "write-behind drop (%s): %s/%s will not reach %s",
+            reason,
+            namespace,
+            address,
+            "remote" if self.remote is None else self.remote.describe(),
+        )
+        self._recorder().record(
+            "write_behind_drop",
+            namespace=namespace,
+            address=address,
+            reason=reason,
+        )
 
     def _init_runtime(self) -> None:
         """(Re)build the unpicklable machinery: lock, queue, thread."""
@@ -391,15 +448,20 @@ class TieredStore(CacheStore):
             if tier is not None
         ]
 
+    def tier_stores(self) -> List[Tuple[str, CacheStore]]:
+        """Public (name, store) view of the tiers, for metrics binding."""
+        return self._tiers()
+
     def get(self, namespace: str, payload: Dict[str, Any]) -> Optional[Any]:
         tiers = self._tiers()
-        for i, (_, tier) in enumerate(tiers):
+        for i, (name, tier) in enumerate(tiers):
             try:
                 value = tier.get(namespace, payload)
             except Exception:
                 # A tier that *raises* is an unavailable backend; the
                 # backend counted the error, the composite degrades to
                 # the next tier.
+                self._recorder().record("tier_error", tier=name, op="get")
                 value = None
             if value is not None:
                 # Read-through promotion: a hit warms every faster
@@ -423,6 +485,7 @@ class TieredStore(CacheStore):
                 # Synchronous tiers normally swallow their own I/O
                 # failures; a raising tier still must not fail the put.
                 tier.tier.errors += 1
+                self._recorder().record("tier_error", tier=name, op="put")
 
     def describe(self) -> str:
         chain = " -> ".join(tier.describe() for _, tier in self._tiers())
@@ -437,16 +500,22 @@ class TieredStore(CacheStore):
                 # Fail-open under backlog: dropping a write costs a
                 # future recompute somewhere, never this run.
                 self.dropped += 1
-                return
-            self._queue.append((namespace, payload, value))
-            self._pending += 1
-            self.queued += 1
-            if self._thread is None:
-                self._thread = threading.Thread(
-                    target=self._flusher, name="repro-store-flush", daemon=True
-                )
-                self._thread.start()
-            self._cond.notify_all()
+                overflowed = True
+            else:
+                overflowed = False
+                self._queue.append((namespace, payload, value))
+                self._pending += 1
+                self.queued += 1
+                if self._thread is None:
+                    self._thread = threading.Thread(
+                        target=self._flusher, name="repro-store-flush", daemon=True
+                    )
+                    self._thread.start()
+                self._cond.notify_all()
+        if overflowed:
+            # Logged outside the queue lock: a slow log handler must
+            # not stall the put path it is reporting on.
+            self._record_drop(namespace, payload, "queue_full")
 
     def _next_item(self) -> Any:
         with self._cond:
@@ -489,6 +558,8 @@ class TieredStore(CacheStore):
                     self.dropped += 1
                 self._pending -= 1
                 self._cond.notify_all()
+            if not delivered:
+                self._record_drop(namespace, payload, "retries_exhausted")
 
     def flush(self, timeout: Optional[float] = None) -> bool:
         """Wait until the write-behind queue is drained.
@@ -505,10 +576,13 @@ class TieredStore(CacheStore):
         self._stop.set()
         with self._cond:
             # Whatever survives the drain window is dropped, counted.
+            residue = list(self._queue)
             self.dropped += len(self._queue)
             self._pending -= len(self._queue)
             self._queue.clear()
             self._cond.notify_all()
+        for namespace, payload, _ in residue:
+            self._record_drop(namespace, payload, "closed_with_backlog")
         thread, self._thread = self._thread, None
         if thread is not None:
             thread.join(timeout=timeout)
@@ -551,12 +625,15 @@ class TieredStore(CacheStore):
     def __getstate__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
         for name in ("_lock", "_cond", "_queue", "_pending", "_stop",
-                     "_thread", "_rng"):
+                     "_thread", "_rng", "_flight"):
             state.pop(name, None)
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
+        # An injected flight recorder stays with its process; the
+        # unpickled copy reports to the process-default recorder.
+        self._flight = None
         self._init_runtime()
 
 

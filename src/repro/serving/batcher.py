@@ -33,11 +33,13 @@ from __future__ import annotations
 import asyncio
 import json
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.metrics import Instrumented, MetricField, MetricsRegistry
+from repro.obs.tracing import Tracer, get_tracer
 from repro.runtime.singleflight import SingleFlight
 from repro.runtime.tiering import CacheLike
 from repro.serving.request import EvalRequest
@@ -51,8 +53,7 @@ SERVE_NAMESPACE = "serve"
 SERVE_REV = 1
 
 
-@dataclass
-class ServingStats:
+class ServingStats(Instrumented):
     """Counters describing how much work the front-end avoided.
 
     ``requests`` splits into ``cache_hits`` (answered from the response
@@ -60,14 +61,23 @@ class ServingStats:
     ``evaluations + errors`` (actually evaluated, or rejected).  The
     acceptance invariant of the serving layer is ``evaluations <
     requests`` whenever the traffic contains repeats.
+
+    The counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``repro_serve_*`` series), so the ``stats`` probe and a
+    ``--metrics-port`` Prometheus scrape read the same numbers.
     """
 
-    requests: int = 0
-    cache_hits: int = 0
-    coalesced: int = 0
-    batches: int = 0
-    evaluations: int = 0
-    errors: int = 0
+    requests = MetricField("repro_serve_requests_total")
+    cache_hits = MetricField("repro_serve_cache_hits_total")
+    coalesced = MetricField("repro_serve_coalesced_total")
+    batches = MetricField("repro_serve_batches_total")
+    evaluations = MetricField("repro_serve_evaluations_total")
+    errors = MetricField("repro_serve_errors_total")
+
+    _FIELDS = ("requests", "cache_hits", "coalesced", "batches", "evaluations", "errors")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._obs_init(registry)
 
     def summary(self) -> str:
         return (
@@ -78,7 +88,7 @@ class ServingStats:
 
     def to_dict(self) -> Dict[str, int]:
         """JSON-able snapshot — the ``{"type": "stats"}`` probe response."""
-        return asdict(self)
+        return {name: getattr(self, name) for name in self._FIELDS}
 
 
 @dataclass
@@ -112,6 +122,13 @@ class BatchingEvaluator:
         burst pattern.
     max_batch:
         Pending-request count that triggers an immediate flush.
+    metrics:
+        Registry backing :attr:`stats`; defaults to a private one (the
+        CLI passes the process registry so ``/metrics`` sees it).
+    tracer:
+        Span source for request/batch tracing; defaults to the process
+        tracer (disabled unless explicitly enabled — spans never alter
+        response bytes).
     """
 
     def __init__(
@@ -120,6 +137,8 @@ class BatchingEvaluator:
         cache: Optional[CacheLike] = None,
         batch_window: float = 0.01,
         max_batch: int = 32,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if batch_window < 0:
             raise ConfigurationError(
@@ -131,7 +150,10 @@ class BatchingEvaluator:
         self.cache = cache
         self.batch_window = float(batch_window)
         self.max_batch = int(max_batch)
-        self.stats = ServingStats()
+        self.stats = ServingStats(metrics)
+        self.metrics = self.stats.metrics
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._leader_spans: Dict[str, str] = {}
         self._fingerprint: str = simulator.fingerprint()
         self._flight = SingleFlight()
         self._pending: _Batch = _Batch()
@@ -178,6 +200,9 @@ class BatchingEvaluator:
         """
         resolved = request.resolved(self.simulator.n_trials)
         self.stats.requests += 1
+        span = self.tracer.start_span(
+            "serve.request", attrs={"config": resolved.config, "vdd": resolved.vdd}
+        )
         payload = self.cache_payload(resolved)
         key = self._flight_key(payload)
         # Flight first, cache second: joining an in-flight evaluation is
@@ -195,10 +220,16 @@ class BatchingEvaluator:
             )
             if hit is not None:
                 self.stats.cache_hits += 1
+                span.set_attr("outcome", "cache_hit")
+                span.end()
                 return hit
 
         future, leader = self._flight.claim(key)
         if leader:
+            span.set_attr("outcome", "leader")
+            ctx = span.context()
+            if ctx is not None:
+                self._leader_spans[key] = ctx.span_id
             self._pending.entries.append((key, resolved))
             if len(self._pending.entries) >= self.max_batch:
                 self._flush_pending()
@@ -206,10 +237,19 @@ class BatchingEvaluator:
                 self._window_task = asyncio.create_task(self._window_flush())
         else:
             self.stats.coalesced += 1
+            span.set_attr("outcome", "coalesced")
+            leader_id = self._leader_spans.get(key)
+            if leader_id is not None:
+                span.set_attr("coalesced_with", leader_id)
         # Shielded: the future is shared by every coalesced waiter (the
         # flush task, not any waiter, owns settling it), so one waiter's
         # cancellation must not poison the others' result.
-        result: Dict[str, Any] = await asyncio.shield(future)
+        try:
+            result: Dict[str, Any] = await asyncio.shield(future)
+        except BaseException:
+            span.end(status="error")
+            raise
+        span.end()
         return result
 
     async def drain(self) -> None:
@@ -251,6 +291,9 @@ class BatchingEvaluator:
     async def _run_batch(self, batch: _Batch) -> None:
         """Evaluate one batch off-loop and settle every claimed future."""
         self.stats.batches += 1
+        batch_span = self.tracer.start_span(
+            "serve.batch", attrs={"size": len(batch.entries)}
+        )
         loop = asyncio.get_running_loop()
         requests = [request for _, request in batch.entries]
         try:
@@ -263,17 +306,24 @@ class BatchingEvaluator:
             # here — and even then no claimed future may be stranded.
             for key, _ in batch.entries:
                 self.stats.errors += 1
+                self._leader_spans.pop(key, None)
                 self._flight.reject(key, _as_exception(exc))
+            batch_span.end(status="error")
             if not isinstance(exc, Exception):
                 raise
             return
+        rejected = 0
         for (key, _), outcome in zip(batch.entries, outcomes):
+            self._leader_spans.pop(key, None)
             if isinstance(outcome, BaseException):
                 self.stats.errors += 1
+                rejected += 1
                 self._flight.reject(key, outcome)
             else:
                 self.stats.evaluations += 1
                 self._flight.resolve(key, outcome)
+        batch_span.set_attr("errors", rejected)
+        batch_span.end()
 
     def _evaluate_batch_sync(
         self, requests: List[EvalRequest]

@@ -32,6 +32,7 @@ import sys
 from typing import Any, Dict, Iterable, List, Optional, Set, TextIO
 
 from repro.errors import ReproError
+from repro.obs.metrics import STATS_VERSION
 from repro.serving.batcher import BatchingEvaluator
 from repro.serving.request import EvalRequest, parse_object_line
 
@@ -121,6 +122,7 @@ def _control_response(
     kind = payload.get("type")
     if kind == "stats":
         stats: Dict[str, Any] = dict(evaluator.stats.to_dict())
+        stats["stats_version"] = STATS_VERSION
         store = evaluator.store_stats()
         if store is not None:
             # Per-tier cache counters (docs/caching.md) ride along with
@@ -325,6 +327,19 @@ def request_stats(host: str, port: int, timeout: float = 10.0) -> Dict[str, Any]
     return stats
 
 
+def _format_value(value: Any) -> str:
+    """Display form of one probe scalar.
+
+    Floats render at 6 significant digits — accumulated latency sums
+    like ``0.30000000000000004`` are measurement noise past that — but
+    only for *display*: the JSON payload :func:`request_stats` returns
+    keeps the exact values.
+    """
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
 def format_stats(stats: Dict[str, Any], indent: int = 0) -> str:
     """Aligned ``key : value`` rendering of one stats probe response.
 
@@ -333,7 +348,8 @@ def format_stats(stats: Dict[str, Any], indent: int = 0) -> str:
     sections, so one probe shows scheduling counters and cache-tier
     counters in a single readable report.  Keys sort by their string
     form at every level, so the rendering is deterministic even when a
-    probe mixes key types.
+    probe mixes key types.  Floats display at 6 significant digits
+    (see :func:`_format_value`); the wire payload stays exact.
     """
     scalars = {k: v for k, v in stats.items() if not isinstance(v, dict)}
     nested = {k: v for k, v in stats.items() if isinstance(v, dict)}
@@ -342,7 +358,7 @@ def format_stats(stats: Dict[str, Any], indent: int = 0) -> str:
     if scalars:
         width = max(len(str(key)) for key in scalars)
         lines.extend(
-            f"{pad}{str(key):<{width}s} : {scalars[key]}"
+            f"{pad}{str(key):<{width}s} : {_format_value(scalars[key])}"
             for key in sorted(scalars, key=str)
         )
     for key in sorted(nested, key=str):

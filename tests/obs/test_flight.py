@@ -1,0 +1,98 @@
+"""Unit coverage of the flight recorder ring buffer."""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.flight import (
+    FlightRecorder,
+    get_flight_recorder,
+    set_flight_recorder,
+)
+
+
+class TestFlightRecorder:
+    def test_events_carry_seq_ts_kind_and_fields(self):
+        recorder = FlightRecorder(capacity=8)
+        event = recorder.record("worker_join", worker="w0")
+        assert event["seq"] == 1
+        assert event["kind"] == "worker_join"
+        assert event["worker"] == "w0"
+        assert event["ts"] > 0
+
+    def test_snapshot_is_oldest_first_and_detached(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record("a")
+        recorder.record("b")
+        snap = recorder.snapshot()
+        assert [e["kind"] for e in snap] == ["a", "b"]
+        snap[0]["kind"] = "mutated"
+        assert recorder.snapshot()[0]["kind"] == "a"
+
+    def test_capacity_rotates_but_recorded_counts_everything(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.record("e", i=i)
+        assert len(recorder) == 3
+        assert recorder.recorded == 5
+        assert [e["i"] for e in recorder.snapshot()] == [2, 3, 4]
+        # Sequence numbers keep climbing across rotation.
+        assert [e["seq"] for e in recorder.snapshot()] == [3, 4, 5]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_dump_writes_a_json_document(self, tmp_path):
+        recorder = FlightRecorder(capacity=2)
+        for i in range(3):
+            recorder.record("e", i=i)
+        path = tmp_path / "flight.json"
+        assert recorder.dump(str(path)) == 2
+        doc = json.loads(path.read_text())
+        assert doc["capacity"] == 2
+        assert doc["recorded"] == 3
+        assert [e["i"] for e in doc["events"]] == [1, 2]
+
+    def test_pickle_round_trip(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("a")
+        clone = pickle.loads(pickle.dumps(recorder))
+        assert [e["kind"] for e in clone.snapshot()] == ["a"]
+        clone.record("b")  # lock regrown, maxlen preserved
+        assert len(clone) == 2
+        for _ in range(5):
+            clone.record("spill")
+        assert len(clone) == 4
+
+    def test_concurrent_records_never_collide_on_seq(self):
+        recorder = FlightRecorder(capacity=10_000)
+
+        def worker():
+            for _ in range(500):
+                recorder.record("e")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [e["seq"] for e in recorder.snapshot()]
+        assert len(seqs) == 2000
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 2000
+
+
+class TestDefaultRecorder:
+    def test_process_default_is_created_lazily_and_resettable(self):
+        try:
+            set_flight_recorder(None)
+            first = get_flight_recorder()
+            assert get_flight_recorder() is first
+            mine = FlightRecorder(capacity=4)
+            set_flight_recorder(mine)
+            assert get_flight_recorder() is mine
+        finally:
+            set_flight_recorder(None)

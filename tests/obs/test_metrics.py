@@ -1,0 +1,271 @@
+"""Unit coverage of the metrics registry and the stats-facade plumbing.
+
+The registry is the single source of truth behind every ``stats`` probe
+and ``/metrics`` endpoint, so its contracts are pinned here directly:
+thread-safe series creation, integer preservation on the JSON wire,
+Prometheus text rendering, pickling across spawn boundaries, and the
+:class:`MetricField` / :class:`LabeledCounterMap` descriptor machinery
+that keeps fifty pre-existing ``stats.x += 1`` call sites working.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    STATS_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrumented,
+    LabeledCounterMap,
+    MetricField,
+    MetricsRegistry,
+    default_registry,
+    metric_fields,
+    set_default_registry,
+)
+
+
+class TestSeries:
+    def test_counter_inc_and_set(self):
+        c = Counter("x_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set(2)
+        assert c.value == 2
+
+    def test_counter_stays_int_until_float_observed(self):
+        c = Counter("x_total")
+        c.inc(3)
+        assert isinstance(c.value, int)
+        c.inc(0.5)
+        assert isinstance(c.value, float)
+
+    def test_gauge_is_counter_with_gauge_kind(self):
+        g = Gauge("pool")
+        assert g.kind == "gauge"
+        g.set(7)
+        g.inc(-2)
+        assert g.value == 5
+
+    def test_histogram_observe_and_cumulative(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        cumulative = dict(h.cumulative())
+        assert cumulative["0.1"] == 1
+        assert cumulative["1.0"] == 3
+        assert cumulative["10.0"] == 4
+        assert cumulative["+Inf"] == 5
+        assert h.value["count"] == 5
+
+    def test_histogram_boundary_lands_in_its_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" is inclusive, Prometheus-style
+        assert dict(h.cumulative())["1.0"] == 1
+
+    @pytest.mark.parametrize("buckets", [(), (1.0, 1.0), (2.0, 1.0)])
+    def test_histogram_rejects_bad_buckets(self, buckets):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("lat", buckets=buckets)
+
+
+class TestRegistry:
+    def test_same_name_same_labels_is_same_series(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.counter("a", {"x": "1"}) is not r.counter("a", {"x": "2"})
+        # Label insertion order cannot mint a second series.
+        assert r.counter("b", {"x": "1", "y": "2"}) is r.counter(
+            "b", {"y": "2", "x": "1"}
+        )
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            r.gauge("a")
+
+    def test_collectors_run_on_snapshot_and_broken_ones_are_survived(self):
+        r = MetricsRegistry()
+
+        def broken(_registry):
+            raise RuntimeError("scrape race")
+
+        def publish(registry):
+            registry.gauge("depth").set(3)
+
+        r.add_collector(broken)
+        r.add_collector(publish)
+        snap = r.snapshot()
+        assert snap["stats_version"] == STATS_VERSION
+        by_name = {row["name"]: row for row in snap["series"]}
+        assert by_name["depth"]["value"] == 3
+
+    def test_snapshot_shape(self):
+        r = MetricsRegistry()
+        r.counter("jobs_total", {"kind": "margin"}).inc(2)
+        (row,) = r.snapshot()["series"]
+        assert row == {
+            "name": "jobs_total",
+            "kind": "counter",
+            "labels": {"kind": "margin"},
+            "value": 2,
+        }
+
+    def test_render_prometheus_text_format(self):
+        r = MetricsRegistry()
+        r.counter("jobs_total").inc(3)
+        r.gauge("workers", {"pool": "a"}).set(2)
+        r.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        text = r.render_prometheus()
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 3" in text
+        assert '# TYPE workers gauge' in text
+        assert 'workers{pool="a"} 2' in text
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.5" in text
+        assert "lat_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        r = MetricsRegistry()
+        r.counter("c", {"path": 'a"b\\c\nd'}).inc()
+        text = r.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_registry_pickles_without_collectors(self):
+        r = MetricsRegistry()
+        r.counter("jobs_total").inc(5)
+        r.add_collector(lambda reg: reg.gauge("live").set(1))
+        clone = pickle.loads(pickle.dumps(r))
+        assert clone.counter("jobs_total").value == 5
+        # Collector closures capture live objects; they must not travel.
+        assert clone.snapshot()["series"][0]["name"] == "jobs_total"
+        clone.counter("jobs_total").inc()  # lock regrown and usable
+        assert clone.counter("jobs_total").value == 6
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        r = MetricsRegistry()
+        c = r.counter("n")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+    def test_default_registry_is_process_wide_and_resettable(self):
+        try:
+            set_default_registry(None)
+            first = default_registry()
+            assert default_registry() is first
+            mine = MetricsRegistry()
+            set_default_registry(mine)
+            assert default_registry() is mine
+        finally:
+            set_default_registry(None)
+
+
+class _Stats(Instrumented):
+    done = MetricField("test_done_total")
+    live = MetricField("test_live", kind="gauge")
+
+    def __init__(self, registry=None):
+        self._obs_init(registry)
+        self.per_worker = LabeledCounterMap(self, "test_per_worker_total", "worker")
+
+
+class TestFacade:
+    def test_metric_field_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unsupported metric field kind"):
+            MetricField("x", kind="histogram")
+
+    def test_class_access_returns_descriptor(self):
+        assert isinstance(_Stats.done, MetricField)
+        assert [f.metric for f in metric_fields(_Stats)] == [
+            "test_done_total", "test_live",
+        ]
+
+    def test_augmented_assignment_reaches_the_registry(self):
+        r = MetricsRegistry()
+        s = _Stats(r)
+        s.done += 1
+        s.done += 1
+        s.live = 4
+        assert s.done == 2
+        assert r.counter("test_done_total").value == 2
+        assert r.gauge("test_live").value == 4
+
+    def test_fields_materialise_at_zero_on_init(self):
+        r = MetricsRegistry()
+        _Stats(r)
+        names = {row["name"] for row in r.snapshot()["series"]}
+        assert {"test_done_total", "test_live"} <= names
+
+    def test_unpickled_facade_regrows_a_private_registry(self):
+        s = _Stats()
+        s.done += 3
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone.done == 3
+        clone.done += 1
+        assert clone.done == 4
+        assert clone.metrics is not s.metrics
+
+    def test_bind_metrics_carries_values_and_label_families(self):
+        s = _Stats()
+        s.done += 7
+        s.per_worker.inc("w0", 2)
+        shared = MetricsRegistry()
+        s.bind_metrics(shared, {"component": "dispatch"})
+        assert s.done == 7
+        assert s.per_worker.to_dict() == {"w0": 2}
+        assert shared.counter(
+            "test_done_total", {"component": "dispatch"}
+        ).value == 7
+        assert shared.counter(
+            "test_per_worker_total", {"component": "dispatch", "worker": "w0"}
+        ).value == 2
+        s.done += 1  # post-bind writes land in the shared registry
+        assert shared.counter(
+            "test_done_total", {"component": "dispatch"}
+        ).value == 8
+
+
+class TestLabeledCounterMap:
+    def test_dict_like_surface(self):
+        s = _Stats()
+        m = s.per_worker
+        assert len(m) == 0
+        assert m.get("w0") is None
+        assert m.get("w0", 0) == 0
+        with pytest.raises(KeyError):
+            m["w0"]
+        m["w0"] = 2
+        m.inc("w0")
+        m.inc("w1")
+        assert m["w0"] == 3
+        assert "w0" in m and "missing" not in m
+        assert sorted(m) == ["w0", "w1"]
+        assert m.keys() == ["w0", "w1"]
+        assert m.items() == [("w0", 3), ("w1", 1)]
+        assert m.to_dict() == {"w0": 3, "w1": 1}
+
+    def test_equality_against_dicts_and_maps(self):
+        a, b = _Stats(), _Stats()
+        a.per_worker.inc("w0")
+        b.per_worker.inc("w0")
+        assert a.per_worker == {"w0": 1}
+        assert a.per_worker == b.per_worker
+        assert (a.per_worker == 3) is False

@@ -1,0 +1,195 @@
+"""Unit coverage of spans, wire contexts and the trace exporters.
+
+Cross-process propagation and byte-identity under chaos live in
+``tests/distributed/test_tracing_chaos.py``; this module pins the local
+contracts: deterministic ids, parenting, the disabled-tracer no-op
+path, and both export formats.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace_document,
+    get_tracer,
+    maybe_enable_tracing_from_env,
+    set_tracer,
+)
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext(trace_id="t1", span_id="s1")
+        assert ctx.to_wire() == {"trace_id": "t1", "span_id": "s1"}
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    @pytest.mark.parametrize("wire", [
+        None, "nope", 7, [], {}, {"trace_id": "t1"},
+        {"trace_id": "t1", "span_id": 3},
+    ])
+    def test_malformed_wire_is_none(self, wire):
+        # Peers ignore unknown/garbled fields rather than crashing.
+        assert TraceContext.from_wire(wire) is None
+
+
+class TestDisabledTracer:
+    def test_start_span_returns_the_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.start_span("anything")
+        assert span is NULL_SPAN
+        assert span.context() is None
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set_attr("k", "v")
+            span.add_event("e", detail=1)
+            span.end(status="error")
+        assert NULL_SPAN.ended
+        assert NULL_SPAN.status == "ok"
+
+    def test_process_default_tracer_is_disabled(self):
+        assert get_tracer().enabled is False
+
+
+class TestSpans:
+    def test_deterministic_ids(self):
+        tracer = Tracer(enabled=True, deterministic=True)
+        root = tracer.start_span("root")
+        child = tracer.start_span("child", parent=root)
+        assert (root.trace_id, root.span_id) == ("t0001", "s0001")
+        assert child.trace_id == "t0001"
+        assert child.span_id == "s0002"
+        assert child.parent_id == "s0001"
+
+    def test_parenting_by_wire_context(self):
+        tracer = Tracer(enabled=True, deterministic=True)
+        remote = TraceContext.from_wire({"trace_id": "tX", "span_id": "sX"})
+        span = tracer.start_span("worker.execute", parent=remote)
+        assert span.trace_id == "tX"
+        assert span.parent_id == "sX"
+
+    def test_null_span_parent_starts_a_fresh_trace(self):
+        tracer = Tracer(enabled=True, deterministic=True)
+        span = tracer.start_span("root", parent=NULL_SPAN)
+        assert span.parent_id is None
+        assert span.trace_id == "t0001"
+
+    def test_end_is_idempotent_and_keeps_first_status(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.start_span("op")
+        span.end(status="failed")
+        duration = span.duration
+        span.end(status="ok")
+        assert span.status == "failed"
+        assert span.duration == duration
+        assert len(tracer.finished()) == 1
+
+    def test_context_manager_marks_errors(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.start_span("op"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished()
+        assert span.status == "error"
+
+    def test_attrs_and_events_in_to_dict(self):
+        tracer = Tracer(enabled=True, deterministic=True)
+        span = tracer.start_span("op", attrs={"job_id": "j1"})
+        span.set_attr("worker", "w0")
+        span.add_event("retry", attempt=2)
+        span.end()
+        doc = span.to_dict()
+        assert doc["name"] == "op"
+        assert doc["attrs"] == {"job_id": "j1", "worker": "w0"}
+        (event,) = doc["events"]
+        assert event["name"] == "retry"
+        assert event["attempt"] == 2
+        assert doc["status"] == "ok"
+
+    def test_max_spans_caps_retention(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        for i in range(5):
+            tracer.start_span(f"op{i}").end()
+        assert [s.name for s in tracer.finished()] == ["op0", "op1"]
+
+    def test_clear_drops_finished_spans(self):
+        tracer = Tracer(enabled=True)
+        tracer.start_span("op").end()
+        tracer.clear()
+        assert tracer.finished() == []
+
+
+class TestExport:
+    def _tracer_with_two_traces(self):
+        tracer = Tracer(enabled=True, deterministic=True)
+        root = tracer.start_span("dispatch.run")
+        tracer.start_span("job:margin", parent=root).end()
+        root.end()
+        tracer.start_span("other").end()
+        return tracer
+
+    def test_export_jsonl(self, tmp_path):
+        tracer = self._tracer_with_two_traces()
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(str(path)) == 3
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [doc["name"] for doc in lines] == [
+            "job:margin", "dispatch.run", "other",
+        ]
+
+    def test_chrome_trace_document_shape(self):
+        tracer = self._tracer_with_two_traces()
+        doc = tracer.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "span_id" in event["args"]
+        # Spans of one trace share a tid (one Perfetto track per trace).
+        tids = {e["args"]["trace_id"]: e["tid"] for e in events}
+        assert len(set(tids.values())) == 2
+
+    def test_chrome_trace_document_empty(self):
+        assert chrome_trace_document([]) == {
+            "traceEvents": [], "displayTimeUnit": "ms",
+        }
+
+    def test_write_chrome_trace(self, tmp_path):
+        tracer = self._tracer_with_two_traces()
+        path = tmp_path / "trace.json"
+        assert tracer.write_chrome_trace(str(path)) == 3
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 3
+
+    def test_span_requires_a_tracer_to_finish_into(self):
+        tracer = Tracer(enabled=True)
+        span = Span(tracer, "op", "t1", "s1", None)
+        span.end()
+        assert tracer.finished() == [span]
+
+
+class TestEnvEnable:
+    def test_unset_env_keeps_tracing_off(self):
+        assert maybe_enable_tracing_from_env({}) is None
+
+    def test_repro_trace_enables_the_default_tracer(self):
+        before = get_tracer()
+        try:
+            tracer = maybe_enable_tracing_from_env({"REPRO_TRACE": "1"})
+            assert tracer is not None and tracer.enabled
+            assert not tracer.deterministic
+            assert get_tracer() is tracer
+            pinned = maybe_enable_tracing_from_env(
+                {"REPRO_TRACE": "1", "REPRO_TRACE_DETERMINISTIC": "1"}
+            )
+            assert pinned is not None and pinned.deterministic
+        finally:
+            set_tracer(before)
