@@ -20,6 +20,10 @@ from repro.core import (
     voltage_scaling_study,
 )
 from repro.devices.technology import get_technology
+from repro.distributed.worker import (
+    DEFAULT_RECONNECT_ATTEMPTS,
+    DEFAULT_RECONNECT_BACKOFF,
+)
 from repro.mem import CellTables
 from repro.runtime import DEFAULT_BLOCK_SAMPLES, ResultCache
 from repro.sram import characterize_cell
@@ -296,6 +300,9 @@ def cmd_worker(args) -> int:
         lru_bytes=args.lru_bytes,
         ttl=args.ttl,
         metrics_port=args.metrics_port,
+        reconnect=args.reconnect,
+        reconnect_backoff=args.reconnect_backoff,
+        reconnect_max_attempts=args.reconnect_max,
     )
 
 
@@ -416,11 +423,17 @@ def cmd_dispatch(args) -> int:
         store = _build_store(args, cache_dir=args.cache_dir)
     else:
         store = DirectoryStore(args.cache_dir)
+    journal = None
+    if args.journal_dir is not None:
+        from repro.distributed import RunJournal
+
+        journal = RunJournal(args.journal_dir)
     metrics_server = None
     with ShardDispatcher(
         store=store,
         max_retries=args.max_retries,
         speculation_threshold=args.speculation_threshold,
+        journal=journal,
     ) as dispatcher:
         if args.metrics_port is not None:
             from repro.obs import MetricsServer, bind_store_metrics
@@ -436,6 +449,8 @@ def cmd_dispatch(args) -> int:
         print(f"dispatching on {host}:{port} "
               f"(store {dispatcher.store.describe()}); "
               f"waiting for {args.min_workers} worker(s)")
+        if journal is not None:
+            print(f"journaling accepted jobs to {journal.path}")
         try:
             dispatcher.await_workers(args.min_workers)
             if args.dag:
@@ -506,6 +521,8 @@ def cmd_dispatch(args) -> int:
         finally:
             if metrics_server is not None:
                 metrics_server.stop()
+    if journal is not None:
+        journal.close()
     close = getattr(store, "close", None)
     if close is not None:
         close()  # drain write-behind so the remote tier sees every result
@@ -653,6 +670,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "jobs with (reference | fused; default: "
                         "REPRO_BACKEND, else fused; bit-identical either "
                         "way, so mixed fleets stay exact)")
+    p.add_argument("--reconnect", action="store_true",
+                   help="survive dispatcher restarts: when the connection "
+                        "drops, re-dial with jittered exponential backoff "
+                        "and re-register instead of exiting")
+    p.add_argument("--reconnect-backoff", type=float,
+                   default=DEFAULT_RECONNECT_BACKOFF, metavar="S",
+                   help="base reconnect delay in seconds (doubles per "
+                        f"failed attempt, jittered; default "
+                        f"{DEFAULT_RECONNECT_BACKOFF})")
+    p.add_argument("--reconnect-max", type=int,
+                   default=DEFAULT_RECONNECT_ATTEMPTS, metavar="N",
+                   help="consecutive failed re-dials before giving up "
+                        "(resets after each successful registration; "
+                        f"default {DEFAULT_RECONNECT_ATTEMPTS})")
     _add_store_options(p)
     _add_metrics_option(p)
     p.set_defaults(func=cmd_worker)
@@ -716,6 +747,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="margin-kernel backend (reference | fused); "
                         "canonical backends share cache entries, so this "
                         "never invalidates the fleet's shared store")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="durable run journal: append every accepted job and "
+                        "completion to DIR/journal.jsonl, and on startup "
+                        "replay an existing journal — finished jobs are "
+                        "skipped, unfinished ones re-enter the queue, and "
+                        "the restarted sweep merges byte-identically")
     p.add_argument("--stats", action="store_true",
                    help="probe a RUNNING dispatcher at --connect for its "
                         "counters and exit (starts nothing)")

@@ -72,6 +72,12 @@ from repro.distributed.dispatcher import (
     DispatcherStats,
     ShardDispatcher,
 )
+from repro.distributed.journal import (
+    JournalReplay,
+    JournaledJob,
+    RunJournal,
+    job_address,
+)
 from repro.distributed.jobs import (
     ShardJob,
     analyzer_from_spec,
@@ -107,10 +113,13 @@ __all__ = [
     "DispatchError",
     "DispatcherStats",
     "FakeObjectStoreServer",
+    "JournalReplay",
+    "JournaledJob",
     "ObjectStore",
     "ObjectStoreError",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RunJournal",
     "ScaleEvent",
     "ShardDispatcher",
     "ShardJob",
@@ -122,6 +131,7 @@ __all__ = [
     "execute_job",
     "fault_block_jobs",
     "is_shard_jobs",
+    "job_address",
     "job_node",
     "margin_tally_jobs",
     "model_from_spec",

@@ -73,6 +73,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracing import NULL_SPAN, SpanLike, TraceContext, Tracer, get_tracer
 from repro.distributed.jobs import ShardJob
+from repro.distributed.journal import JournaledJob, RunJournal, job_address
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
     STREAM_LIMIT,
@@ -129,12 +130,18 @@ class DispatcherStats(Instrumented):
     workers_seen = MetricField("repro_dispatch_workers_seen_total")
     workers_lost = MetricField("repro_dispatch_workers_lost_total")
     active_workers = MetricField("repro_dispatch_active_workers", kind="gauge")
+    #: Journaled jobs re-enqueued by a ``--journal-dir`` replay (their
+    #: completion was missing, or absent from the store).
+    journal_replayed = MetricField("repro_dispatch_journal_replayed_total")
+    #: Journaled jobs a replay did *not* re-enqueue: their completion
+    #: record was present and the result still lives in the store.
+    journal_skipped = MetricField("repro_dispatch_journal_skipped_total")
 
     _FIELDS = (
         "jobs", "completed", "store_hits", "worker_cache_hits", "computed",
         "assignments", "retries", "drain_requeues", "speculations",
         "speculative_wins", "failures", "workers_seen", "workers_lost",
-        "active_workers",
+        "active_workers", "journal_replayed", "journal_skipped",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -257,6 +264,17 @@ class _Run:
                 self._merged if self.merge is not None else list(self.values)
             )
 
+    def forfeit(self, position: int) -> None:
+        """Release one position without a value (its job was adopted by
+        another run — journal recovery hands jobs over to the client
+        that resubmitted them).  The slot stays ``None``; only runs
+        collecting raw values (``merge=None``) may be forfeited from."""
+        self.remaining -= 1
+        if self.remaining == 0 and not self.future.done():
+            self.future.set_result(
+                self._merged if self.merge is not None else list(self.values)
+            )
+
     def fail(self, exc: Exception) -> None:
         if not self.future.done():
             self.future.set_exception(exc)
@@ -290,6 +308,16 @@ class ShardDispatcher:
     heartbeat_interval / heartbeat_timeout:
         Liveness cadence; the timeout defaults to
         ``HEARTBEAT_TIMEOUT_FACTOR × interval``.
+    journal:
+        Optional :class:`~repro.distributed.journal.RunJournal` making
+        accepted work durable: every job is journaled before it is
+        queued and every merge-accepted completion after.  On
+        :meth:`serve` the journal is replayed — completions still
+        present in the store are skipped (``journal_skipped``), the
+        unfinished remainder re-enqueues autonomously
+        (``journal_replayed``), and a client resubmitting the same
+        content *adopts* the recovered jobs instead of double-queueing
+        them.  See ``docs/recovery.md``.
     speculate / speculation_threshold / speculation_quantile /
     speculation_factor / speculation_min_samples:
         Straggler re-execution policy.  A job held by exactly one live
@@ -317,6 +345,7 @@ class ShardDispatcher:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         flight_capacity: int = 512,
+        journal: Optional[RunJournal] = None,
     ):
         if max_retries < 0:
             raise DispatchError(f"max_retries must be >= 0, got {max_retries}")
@@ -357,6 +386,7 @@ class ShardDispatcher:
         self.speculation_quantile = float(speculation_quantile)
         self.speculation_factor = float(speculation_factor)
         self.speculation_min_samples = int(speculation_min_samples)
+        self.journal = journal
         self.stats = DispatcherStats(metrics)
         #: Registry backing ``stats`` (private unless injected) — also
         #: carries the live queue/latency gauges and the compute-latency
@@ -379,6 +409,13 @@ class ShardDispatcher:
         self._rr: Deque[str] = deque()
         self._seq = 0
         self._outstanding: Dict[str, _JobState] = {}
+        #: Autonomous recovery runs holding journal-replayed jobs until
+        #: a client resubmits (and adopts) them or the fleet finishes
+        #: them unprompted.
+        self._recovery_runs: Set[_Run] = set()
+        #: Set once journal replay (or its absence) has populated the
+        #: queues; :meth:`run` waits on it so resubmissions can adopt.
+        self._replay_done: Optional[asyncio.Event] = None
         #: Recent compute latencies (assignment → result) feeding the
         #: adaptive speculation threshold.
         self._durations: Deque[float] = deque(maxlen=512)
@@ -401,10 +438,16 @@ class ShardDispatcher:
         """Start the worker-facing TCP server (``port=0`` = ephemeral)."""
         self._aloop = asyncio.get_running_loop()
         self._worker_event = self._worker_event or asyncio.Event()
+        self._replay_done = asyncio.Event()
         self._server = await asyncio.start_server(
             self._serve_connection, host=host, port=port, limit=STREAM_LIMIT
         )
         self._monitor_task = asyncio.create_task(self._monitor())
+        if self.journal is not None:
+            self.journal.open_session()
+            self._spawn(self._replay_journal())
+        else:
+            self._replay_done.set()
         return self._server
 
     def _spawn(self, coro: Any) -> None:
@@ -441,10 +484,18 @@ class ShardDispatcher:
             raise DispatchError("dispatcher is not serving (call serve()/start())")
         if not jobs:
             raise DispatchError("cannot run an empty job list")
+        if self._replay_done is not None:
+            # Journal replay must finish populating the queues first, or
+            # a resubmission racing the replay would double-queue work
+            # the recovery run is about to claim.
+            await self._replay_done.wait()
         ids = {job.job_id for job in jobs}
         if len(ids) != len(jobs):
             raise DispatchError("job ids must be unique within a run")
-        clash = ids & set(self._outstanding)
+        clash = ids & {
+            job_id for job_id, st in self._outstanding.items()
+            if st.run not in self._recovery_runs
+        }
         if clash:
             raise DispatchError(
                 f"job ids already outstanding in another run: "
@@ -472,8 +523,26 @@ class ShardDispatcher:
                     )
                     for job in jobs
                 )))
+            # Journal-recovered jobs still outstanding, by content
+            # address: a client resubmitting the same content adopts
+            # the in-flight recovery copy instead of double-queueing it
+            # (job *ids* are fresh per submission, addresses are not).
+            adoptable: Dict[Tuple[str, str], _JobState] = {}
+            if self._recovery_runs:
+                for st in self._outstanding.values():
+                    if st.run in self._recovery_runs:
+                        adoptable[job_address(st.job)] = st
             for position, (job, hit) in enumerate(zip(jobs, hits)):
+                if hit is None and adoptable:
+                    recovered = adoptable.pop(job_address(job), None)
+                    if recovered is not None:
+                        self._adopt(recovered, run, position, job)
+                        continue
                 self.stats.jobs += 1
+                if self.journal is not None:
+                    # Write-ahead: the job spec is durable before any
+                    # scheduling decision acts on it.
+                    self.journal.record_job(job, run.client, int(priority))
                 if hit is not None:
                     self.stats.store_hits += 1
                     self.stats.completed += 1
@@ -483,8 +552,18 @@ class ShardDispatcher:
                         attrs={"job_id": job.job_id, "outcome": "store_hit"},
                     )
                     hit_span.end()
+                    if self.journal is not None:
+                        self.journal.record_done(job)
                     run.accept(position, hit)
                 else:
+                    if self._outstanding.get(job.job_id) is not None:
+                        # Same id as an un-adopted recovery job but
+                        # different content: overwriting would hand the
+                        # recovery copy's result to the wrong payload.
+                        raise DispatchError(
+                            f"job id {job.job_id} clashes with a "
+                            f"journal-recovery job of different content"
+                        )
                     state = _JobState(
                         job, run, position,
                         client=run.client, priority=int(priority),
@@ -884,6 +963,129 @@ class ShardDispatcher:
             if state is not None and state.run is run:
                 del self._outstanding[job_id]
 
+    # ------------------------------------------------------------------
+    # Journal recovery (event-loop thread only)
+    # ------------------------------------------------------------------
+    def _adopt(
+        self, state: _JobState, run: _Run, position: int, job: ShardJob
+    ) -> None:
+        """Hand a journal-recovered job over to the run that resubmitted
+        its content.
+
+        The recovered :class:`_JobState` keeps its *journaled* job id —
+        a worker already computing it will report that id — so the
+        adopting run's id set swaps the fresh id for the journaled one.
+        The recovery run forfeits the position it was tracking.
+        """
+        old_run = state.run
+        old_run.forfeit(state.position)
+        run.job_ids.discard(job.job_id)
+        run.job_ids.add(state.job.job_id)
+        state.run = run
+        state.position = position
+        self.flight.record(
+            "journal_adopt",
+            job_id=state.job.job_id,
+            resubmitted_as=job.job_id,
+            client=run.client,
+        )
+        state.span.set_attr("adopted_by", run.client)
+
+    async def _replay_journal(self) -> None:
+        """Replay the journal on startup: skip completions still in the
+        store, re-enqueue the unfinished remainder as an autonomous
+        recovery run.  Never fails serving — a corrupt journal degrades
+        to an empty replay with a ``journal_error`` flight event."""
+        journal = self.journal
+        assert journal is not None and self._replay_done is not None
+        loop = asyncio.get_running_loop()
+        try:
+            replay = await loop.run_in_executor(None, journal.replay)
+            self.flight.record(
+                "journal_open",
+                path=str(journal.path),
+                records=replay.records,
+                pending=len(replay.pending),
+                done=len(replay.done),
+                torn=replay.torn,
+                unknown=len(replay.unknown),
+                orphan_done=replay.orphan_done,
+            )
+            for entry in replay.unknown:
+                self.flight.record("journal_unknown_job", **entry)
+            if not replay.pending and not replay.done:
+                return  # fresh journal: nothing to recover
+            if self.store is None:
+                # No store to cross-check against: trust the journal's
+                # completion records as-is.
+                skipped = list(replay.done)
+                missing: List[JournaledJob] = []
+            else:
+                # A completion record only skips recomputation while its
+                # result is still addressable (``--ttl 0`` or eviction
+                # demotes it back to pending).  Checks run off-loop and
+                # concurrently, like the run() prefetch.
+                store = self.store
+                presence = list(await asyncio.gather(*(
+                    loop.run_in_executor(
+                        None, store.get, entry.job.namespace, entry.job.payload
+                    )
+                    for entry in replay.done
+                )))
+                skipped = [
+                    entry for entry, hit in zip(replay.done, presence)
+                    if hit is not None
+                ]
+                missing = [
+                    entry for entry, hit in zip(replay.done, presence)
+                    if hit is None
+                ]
+            self.stats.journal_skipped += len(skipped)
+            requeue = list(replay.pending) + missing
+            if requeue:
+                run = _Run(
+                    [entry.job for entry in requeue],
+                    None, None, client="journal-recovery",
+                )
+                self._recovery_runs.add(run)
+                for position, entry in enumerate(requeue):
+                    state = _JobState(
+                        entry.job, run, position,
+                        client=entry.client, priority=entry.priority,
+                    )
+                    state.span = self.tracer.start_span(
+                        f"job:{entry.job.kind}",
+                        attrs={"job_id": entry.job.job_id, "recovered": True},
+                    )
+                    self._outstanding[entry.job.job_id] = state
+                    self._enqueue(state)
+                    self.stats.jobs += 1
+                    self.stats.journal_replayed += 1
+                self._spawn(self._finish_recovery(run))
+            self.flight.record(
+                "journal_replay",
+                replayed=len(requeue), skipped=len(skipped),
+            )
+            self._pump()
+        except Exception as exc:
+            # Serving must survive any journal pathology; recovery is
+            # best-effort on top of an otherwise healthy dispatcher.
+            self.flight.record("journal_error", error=str(exc))
+        finally:
+            self._replay_done.set()
+
+    async def _finish_recovery(self, run: _Run) -> None:
+        """Reap the autonomous recovery run once every replayed job has
+        completed, failed, or been adopted by a resubmitting client."""
+        try:
+            await run.future
+            self.flight.record("journal_recovered", jobs=len(run.job_ids))
+        except DispatchError as exc:
+            self.flight.record("journal_recovery_failed", error=str(exc))
+        finally:
+            self._recovery_runs.discard(run)
+            self._purge_run(run)
+
     def _retire(
         self, worker: _WorkerConn, reason: str, count_lost: bool = True,
         graceful: bool = False,
@@ -966,6 +1168,12 @@ class ShardDispatcher:
         state.span.set_attr("cached", cached)
         state.span.set_attr("attempts", state.attempts + 1)
         state.span.end()
+        if self.journal is not None:
+            # Completion is durable before the merge exposes the value:
+            # a crash after this line skips the job on replay (its
+            # result is already in the shared store — workers persist
+            # before they report).
+            self.journal.record_done(state.job)
         state.run.accept(state.position, value)
 
     def queue_snapshot(self) -> Dict[str, Any]:

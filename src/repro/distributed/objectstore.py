@@ -18,7 +18,9 @@ mirrors the local cache directory one-to-one and a value computed on
 any machine is addressable from every other.
 
 The degradation contract is strict fail-open: a transport failure on
-``get`` is a *miss* (counted in ``tier.errors``), and ``put`` raises
+``get`` retries once with jitter (transient errors and HTTP 5xx only —
+counted in ``tier.retries``) and then degrades to a *miss* (each failed
+attempt counted in ``tier.errors``), and ``put`` raises
 :class:`ObjectStoreError` so the caller — normally the
 :class:`~repro.runtime.tiering.TieredStore` write-behind flusher — can
 retry with backoff and eventually drop.  No store failure ever
@@ -34,6 +36,7 @@ and optional fault injection).
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 import urllib.error
@@ -79,6 +82,10 @@ class ObjectStore(CacheStore):
     version:
         Cache-schema version folded into every key (see
         :data:`~repro.runtime.cache.CACHE_VERSION`).
+    retry_delay:
+        Base pause (seconds) before the single in-band read retry; the
+        actual pause is jittered ±50% so a fleet of workers hitting a
+        briefly-sick store does not re-dial it in lockstep.
     """
 
     def __init__(
@@ -86,6 +93,7 @@ class ObjectStore(CacheStore):
         base_url: str,
         timeout: float = DEFAULT_TIMEOUT,
         version: int = CACHE_VERSION,
+        retry_delay: float = 0.05,
     ):
         super().__init__()
         parsed = urllib.parse.urlparse(base_url)
@@ -95,9 +103,12 @@ class ObjectStore(CacheStore):
             )
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
+        if retry_delay < 0:
+            raise ValueError(f"retry_delay must be >= 0, got {retry_delay}")
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
         self.version = int(version)
+        self.retry_delay = float(retry_delay)
 
     def object_url(self, namespace: str, payload: Dict[str, Any]) -> str:
         """Full URL of the object addressed by ``payload``."""
@@ -105,20 +116,48 @@ class ObjectStore(CacheStore):
         return f"{self.base_url}/{urllib.parse.quote(namespace)}/{key}"
 
     def get(self, namespace: str, payload: Dict[str, Any]) -> Optional[Any]:
+        """Fetch one object; a transient failure retries once, then the
+        read degrades to a miss.
+
+        Only failures a second attempt could fix retry — connection
+        errors, timeouts, HTTP 5xx — after a jittered ``retry_delay``
+        pause.  A 404 is a clean miss and a torn/foreign document would
+        re-read identically, so neither retries.  Every failed attempt
+        counts in ``tier.errors``, the second attempt in
+        ``tier.retries``, and one ``record_get`` covers the total
+        latency including the pause — the cost of the retry is visible
+        on the same stats the degradation drill reads.
+        """
+        url = self.object_url(namespace, payload)
         start = time.perf_counter()
         value: Optional[Any] = None
-        try:
-            with urllib.request.urlopen(
-                self.object_url(namespace, payload), timeout=self.timeout
-            ) as response:
-                document = json.loads(response.read().decode())
-            value = document["value"]
-        except urllib.error.HTTPError as exc:
-            if exc.code != 404:  # 404 is a clean miss, not a failure
+        for attempt in (0, 1):
+            try:
+                with urllib.request.urlopen(
+                    url, timeout=self.timeout
+                ) as response:
+                    document = json.loads(response.read().decode())
+                value = document["value"]
+                break
+            except urllib.error.HTTPError as exc:
+                if exc.code == 404:  # a clean miss, not a failure
+                    break
                 self.tier.errors += 1
-        except (OSError, ValueError, TypeError, KeyError):
-            # Unreachable store or a torn/foreign document: a miss.
-            self.tier.errors += 1
+                if exc.code < 500 or attempt:
+                    break  # non-transient status, or already retried
+            except (ValueError, TypeError, KeyError):
+                # Torn or foreign document: rereading returns the same
+                # bytes, so retrying cannot help.
+                self.tier.errors += 1
+                break
+            except OSError:
+                # Unreachable or timed-out store (HTTPError is an
+                # OSError subclass — handled above).
+                self.tier.errors += 1
+                if attempt:
+                    break
+            self.tier.retries += 1
+            time.sleep(self.retry_delay * (0.5 + random.random()))
         self.tier.record_get(value, time.perf_counter() - start)
         return value
 

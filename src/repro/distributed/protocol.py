@@ -41,7 +41,10 @@ Dispatcher → worker
     it rides along without a ``PROTOCOL_VERSION`` bump and an untraced
     peer interoperates unchanged.
 ``shutdown``
-    No more work; the worker exits cleanly.
+    No more work; the worker exits cleanly.  A worker *announcing* its
+    own drain (``--max-jobs``) sends the same message and then waits up
+    to :data:`DRAIN_ACK_TIMEOUT` for the dispatcher's acknowledging
+    ``shutdown`` before tearing its stream down.
 
 Any client (not just workers) may send ``{"type": "stats"}`` and
 receives ``{"type": "stats", "ok": true, "stats": {...}}`` — the probe
@@ -66,6 +69,12 @@ PROTOCOL_VERSION = 1
 #: Per-connection line-length ceiling (bytes).  Shard tallies are a few
 #: kilobytes per block; far below this.
 STREAM_LIMIT = 1 << 22
+
+#: Seconds a draining peer waits for the ``shutdown`` acknowledgement
+#: before giving up on an orderly teardown.  Shared by both sides of
+#: the drain handshake so neither outwaits the other; per-worker
+#: override via ``Worker(ack_timeout=)``.
+DRAIN_ACK_TIMEOUT = 10.0
 
 
 class ProtocolError(ReproError):

@@ -12,13 +12,19 @@ entirely (see :func:`~repro.distributed.jobs.execute_job`).
 Job failures are reported per job (``error`` messages) and do not kill
 the worker; protocol-level failures (malformed dispatcher, version
 skew) do, because a worker that misunderstands its dispatcher must not
-keep computing.
+keep computing.  A *gone* dispatcher is a third category: by default it
+ends the worker cleanly, but with ``reconnect=True`` (the CLI's
+``--reconnect``) the worker instead re-dials with exponential backoff
+and jitter, re-registers through the normal welcome handshake, and
+keeps serving — which is what lets a fleet outlive a dispatcher restart
+(see ``docs/recovery.md``).
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import random
 import socket
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
@@ -29,6 +35,7 @@ from repro.errors import ReproError
 from repro.obs.tracing import TraceContext, Tracer, get_tracer
 from repro.distributed.jobs import ShardJob, execute_job
 from repro.distributed.protocol import (
+    DRAIN_ACK_TIMEOUT,
     PROTOCOL_VERSION,
     STREAM_LIMIT,
     ProtocolError,
@@ -36,6 +43,15 @@ from repro.distributed.protocol import (
     send_message,
 )
 from repro.distributed.store import CacheStore, DirectoryStore
+
+#: Base reconnect delay (seconds); doubles per consecutive failure.
+DEFAULT_RECONNECT_BACKOFF = 0.5
+
+#: Consecutive failed reconnect attempts before the worker gives up.
+DEFAULT_RECONNECT_ATTEMPTS = 10
+
+#: Ceiling on the exponential backoff delay (before jitter).
+RECONNECT_BACKOFF_CAP = 30.0
 
 
 def default_worker_name() -> str:
@@ -60,6 +76,22 @@ class Worker:
         Exit cleanly after this many jobs (drain hook for rolling
         restarts and tests); ``None`` serves until the dispatcher goes
         away.
+    ack_timeout:
+        Seconds to wait for the dispatcher's drain acknowledgement
+        (defaults to the shared protocol constant
+        :data:`~repro.distributed.protocol.DRAIN_ACK_TIMEOUT`).
+    reconnect / reconnect_backoff / reconnect_max_attempts:
+        With ``reconnect=True`` a lost dispatcher (EOF, reset, refused
+        dial) triggers a re-dial loop — exponential backoff from
+        ``reconnect_backoff`` seconds (doubling, capped at
+        :data:`RECONNECT_BACKOFF_CAP`, ±50% jitter) for up to
+        ``reconnect_max_attempts`` consecutive failures, after which
+        :class:`ConnectionError` is raised.  The attempt budget resets
+        whenever a session actually registers, so a fleet riding out
+        repeated dispatcher restarts never exhausts it.  Explicit
+        ``shutdown`` messages and ``--max-jobs`` drains still exit;
+        protocol errors stay fatal (a worker must not re-dial a
+        dispatcher it cannot understand).
     """
 
     def __init__(
@@ -70,6 +102,10 @@ class Worker:
         name: Optional[str] = None,
         max_jobs: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        ack_timeout: float = DRAIN_ACK_TIMEOUT,
+        reconnect: bool = False,
+        reconnect_backoff: float = DEFAULT_RECONNECT_BACKOFF,
+        reconnect_max_attempts: int = DEFAULT_RECONNECT_ATTEMPTS,
     ):
         self.host = host
         self.port = int(port)
@@ -77,7 +113,14 @@ class Worker:
         self.name = name or default_worker_name()
         self.max_jobs = max_jobs
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.ack_timeout = float(ack_timeout)
+        self.reconnect = bool(reconnect)
+        self.reconnect_backoff = float(reconnect_backoff)
+        self.reconnect_max_attempts = int(reconnect_max_attempts)
         self.jobs_done = 0
+        #: Successful re-registrations after a lost dispatcher.
+        self.reconnects = 0
+        self._sessions = 0
         # Serializes the heartbeat task and job-result reports on the
         # one dispatcher stream: two coroutines awaiting the same
         # drain() is an asyncio flow-control assertion error.
@@ -91,7 +134,54 @@ class Worker:
             await send_message(writer, payload)
 
     async def run(self) -> int:
-        """Serve until shutdown/disconnect; returns jobs executed."""
+        """Serve until shutdown/disconnect; returns jobs executed.
+
+        Without ``reconnect`` a gone dispatcher ends the worker — a
+        failed initial dial propagates, a loss after registration is a
+        clean exit (served until the dispatcher stopped).  With
+        ``reconnect`` both become a jittered-backoff re-dial loop; only
+        an explicit ``shutdown``, a ``--max-jobs`` drain, an exhausted
+        attempt budget or a protocol error ends the worker.
+        """
+        attempts = 0
+        while True:
+            sessions_before = self._sessions
+            try:
+                outcome = await self._session()
+            except (ConnectionError, OSError):
+                if not self.reconnect:
+                    raise
+                outcome = "lost"
+            if outcome != "lost":
+                return self.jobs_done  # explicit shutdown or drain
+            if not self.reconnect:
+                return self.jobs_done
+            if self._sessions > sessions_before:
+                # The lost session had registered: this is a *fresh*
+                # outage, not attempt N of the previous one — a fleet
+                # riding out rolling restarts must never exhaust its
+                # budget across separate outages.
+                attempts = 0
+            attempts += 1
+            if attempts > self.reconnect_max_attempts:
+                raise ConnectionError(
+                    f"dispatcher {self.host}:{self.port} unreachable "
+                    f"after {attempts - 1} reconnect attempts"
+                )
+            delay = min(
+                RECONNECT_BACKOFF_CAP,
+                self.reconnect_backoff * (2 ** min(attempts - 1, 16)),
+            ) * (0.5 + random.random())
+            await asyncio.sleep(delay)
+
+    async def _session(self) -> str:
+        """One dispatcher connection, dial to teardown.
+
+        Returns ``"shutdown"`` (dispatcher said stop), ``"drained"``
+        (``--max-jobs`` reached) or ``"lost"`` (EOF / reset after
+        registration).  A failed dial or a registration-phase loss
+        propagates; :meth:`run` decides whether that is fatal.
+        """
         reader, writer = await asyncio.open_connection(
             self.host, self.port, limit=STREAM_LIMIT
         )
@@ -122,6 +212,9 @@ class Worker:
                     f"number, got {raw_interval!r}"
                 )
             interval = float(raw_interval)
+            self._sessions += 1
+            if self._sessions > 1:
+                self.reconnects += 1
             heartbeat_task = asyncio.create_task(
                 self._heartbeats(writer, interval)
             )
@@ -133,9 +226,11 @@ class Worker:
                     # recv_message validates the envelope, but the guard
                     # stays .get()-based: a malformed dispatcher must
                     # surface as ProtocolError, never a bare KeyError.
-                    if message is None or message.get("type") == "shutdown":
-                        break
+                    if message is None:
+                        return "lost"
                     kind = message.get("type")
+                    if kind == "shutdown":
+                        return "shutdown"
                     if kind == "assign":
                         await self._execute(loop, writer, message)
                         self.jobs_done += 1
@@ -145,7 +240,7 @@ class Worker:
                         ):
                             await self._send(writer, {"type": "shutdown"})
                             await self._await_drain_ack(reader)
-                            break
+                            return "drained"
                         await self._send(writer, {"type": "ready"})
                     elif kind == "error":
                         raise ProtocolError(
@@ -157,9 +252,8 @@ class Worker:
                 # down while this worker was still computing a job whose
                 # speculation race it had already lost, so the result
                 # send hit a closed stream.  Same meaning as reading
-                # EOF: served until the dispatcher stopped, clean exit.
-                pass
-            return self.jobs_done
+                # EOF: served until the dispatcher stopped.
+                return "lost"
         finally:
             if heartbeat_task is not None:
                 heartbeat_task.cancel()
@@ -182,7 +276,9 @@ class Worker:
         """
         try:
             while True:
-                ack = await asyncio.wait_for(recv_message(reader), timeout=10)
+                ack = await asyncio.wait_for(
+                    recv_message(reader), timeout=self.ack_timeout
+                )
                 if ack is None or ack.get("type") == "shutdown":
                     return
         except (asyncio.TimeoutError, ProtocolError,
@@ -263,6 +359,10 @@ def run_worker(
     lru_bytes: Optional[int] = None,
     ttl: Optional[float] = None,
     metrics_port: Optional[int] = None,
+    ack_timeout: float = DRAIN_ACK_TIMEOUT,
+    reconnect: bool = False,
+    reconnect_backoff: float = DEFAULT_RECONNECT_BACKOFF,
+    reconnect_max_attempts: int = DEFAULT_RECONNECT_ATTEMPTS,
 ) -> int:
     """Blocking worker entry point (the ``repro-sram worker`` command).
 
@@ -276,7 +376,10 @@ def run_worker(
     (see ``docs/caching.md``).
 
     Returns a process exit code: 0 after a clean shutdown/drain, 1 when
-    the connection or registration failed.
+    the connection or registration failed — with ``reconnect`` that
+    last case only happens once ``reconnect_max_attempts`` consecutive
+    re-dials have failed (the CLI's ``--reconnect`` /
+    ``--reconnect-backoff`` / ``--reconnect-max``).
     """
     store: CacheStore
     tiered: Optional["TieredStore"] = None
@@ -309,6 +412,10 @@ def run_worker(
         store=store,
         name=name,
         max_jobs=max_jobs,
+        ack_timeout=ack_timeout,
+        reconnect=reconnect,
+        reconnect_backoff=reconnect_backoff,
+        reconnect_max_attempts=reconnect_max_attempts,
     )
     metrics_server = None
     if metrics_port is not None:

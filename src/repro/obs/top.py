@@ -114,6 +114,14 @@ def _dispatch_lines(stats: Mapping[str, Any]) -> List[str]:
     speculation = stats.get("speculation")
     if isinstance(speculation, Mapping) and speculation.get("cutoff") is not None:
         lines.append(f"          speculation cutoff {_fmt(speculation.get('cutoff'))}s")
+    replayed = stats.get("journal_replayed", 0)
+    skipped = stats.get("journal_skipped", 0)
+    if replayed or skipped:
+        # Only dispatchers restarted on a journal show this line, so
+        # probes of journal-less fleets render unchanged.
+        lines.append(
+            f"journal   replayed {_fmt(replayed)}   skipped {_fmt(skipped)}"
+        )
     per_worker = stats.get("per_worker")
     if isinstance(per_worker, Mapping) and per_worker:
         rows = [["worker", "assignments"]]
@@ -168,11 +176,22 @@ def run_top(
 
     ``iterations=0`` polls forever (Ctrl-C exits cleanly); tests pass a
     finite count and a stub ``fetch``.  Returns a process exit code.
-    """
-    if fetch is None:
-        from repro.serving.server import request_stats
 
-        fetch = request_stats
+    Without a ``fetch`` stub the poll loop holds one
+    :class:`~repro.serving.client.ResilientClient` for its whole
+    lifetime — a persistent connection that rides out server restarts
+    with backoff instead of dialling a fresh socket per frame.
+    """
+    client = None
+    if fetch is None:
+        from repro.serving.client import ResilientClient
+
+        client = ResilientClient(host, port)
+
+        def fetch(_host: str, _port: int) -> Dict[str, Any]:
+            assert client is not None
+            return client.stats()
+
     stream = sys.stdout if out is None else out
     count = 0
     try:
@@ -193,3 +212,6 @@ def run_top(
             sleep(interval)
     except KeyboardInterrupt:
         return 0
+    finally:
+        if client is not None:
+            client.close()

@@ -97,6 +97,10 @@ class TierStats(Instrumented):
 
     ``errors`` counts backend failures (unreachable store, failed
     write attempt) — *not* misses, which are a normal outcome.
+    ``retries`` counts in-band second attempts after a transient
+    failure (the remote tier's read retry); each failed attempt still
+    lands in ``errors``, so ``errors - retries`` bounds the reads that
+    actually degraded.
     ``expirations`` counts TTL-expired reads, ``evictions`` LRU
     displacements; both are zero for tiers without the mechanism.
     Latency is accumulated seconds, so ``get_seconds / (hits + misses)``
@@ -114,6 +118,7 @@ class TierStats(Instrumented):
     bytes_read = MetricField("repro_cache_bytes_read_total")
     bytes_written = MetricField("repro_cache_bytes_written_total")
     errors = MetricField("repro_cache_errors_total")
+    retries = MetricField("repro_cache_retries_total")
     evictions = MetricField("repro_cache_evictions_total")
     expirations = MetricField("repro_cache_expirations_total")
     get_seconds = MetricField("repro_cache_get_seconds_total")
@@ -121,7 +126,8 @@ class TierStats(Instrumented):
 
     _FIELDS = (
         "hits", "misses", "puts", "bytes_read", "bytes_written",
-        "errors", "evictions", "expirations", "get_seconds", "put_seconds",
+        "errors", "retries", "evictions", "expirations", "get_seconds",
+        "put_seconds",
     )
 
     def __init__(

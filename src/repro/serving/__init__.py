@@ -30,6 +30,7 @@ from repro.serving.batcher import (
     ServingStats,
     sequential_response,
 )
+from repro.serving.client import ClientError, ResilientClient
 from repro.serving.request import EvalRequest
 from repro.serving.server import (
     DEFAULT_MAX_INFLIGHT,
@@ -45,7 +46,9 @@ __all__ = [
     "DEFAULT_MAX_INFLIGHT",
     "SERVE_NAMESPACE",
     "BatchingEvaluator",
+    "ClientError",
     "EvalRequest",
+    "ResilientClient",
     "ServingStats",
     "format_stats",
     "request_stats",

@@ -1,0 +1,317 @@
+"""Resilient JSON-lines client: one hardened path for every probe.
+
+Both wire protocols in this library — the batch-serving front-end
+(:mod:`repro.serving.server`) and the distributed dispatcher
+(:mod:`repro.distributed.protocol`) — speak newline-delimited JSON over
+TCP and answer ``{"type": "stats"}`` probes.  Before this module, every
+caller that talked to them ad hoc (CLI ``--stats`` probes, the ``top``
+dashboard, autoscalers, smoke scripts) opened a fresh socket per
+request and died on the first hiccup.  :class:`ResilientClient` is the
+shared client those paths now ride:
+
+* **persistent connection** — one socket reused across requests,
+  re-dialed lazily after a loss;
+* **reconnect with backoff** — transport failures (refused dial, reset,
+  peer EOF) retry up to ``max_attempts`` times with exponential
+  backoff and ±50% jitter, all inside the request's deadline;
+* **per-request deadlines** — every :meth:`request` observes one total
+  deadline across connects, retries and waits (``timeout=`` per call,
+  defaulting to the client-wide setting);
+* **backpressure honoured** — a structured ``overloaded`` refusal (the
+  serving front-end's per-connection in-flight cap) is not an error:
+  the client sleeps the server-suggested ``retry_after`` (or its own
+  ``overloaded_delay``) and resends, without consuming a retry
+  attempt;
+* **stats polling** — :meth:`stats` validates the probe response shape
+  and :meth:`watch_stats` yields snapshots on an interval, which is
+  what the ``top`` dashboard loops on.
+
+Failures that retrying cannot fix — a malformed response line, a
+non-JSON-object payload — raise :class:`ClientError` immediately: a
+peer this client cannot parse might be a different protocol entirely,
+and hammering it with retries would only mask the misconfiguration.
+
+The client is synchronous and thread-safe (one request in flight at a
+time, serialized by a lock): its callers — CLI probes, dashboards,
+autoscale controllers — are blocking code.  ``sleep`` and ``rng`` are
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, Optional, TextIO
+
+from repro.errors import ReproError
+
+__all__ = ["ClientError", "ResilientClient"]
+
+
+class ClientError(ReproError):
+    """The client could not complete a request (unreachable peer,
+    exhausted deadline, unparseable response)."""
+
+
+class ResilientClient:
+    """Persistent, reconnecting client for the JSON-lines protocols.
+
+    Parameters
+    ----------
+    host / port:
+        The server to talk to (serving front-end or dispatcher).
+    timeout:
+        Default per-request deadline in seconds — the *total* budget
+        for one :meth:`request`, covering dials, retries, backoff
+        pauses and overload waits.
+    max_attempts:
+        Transport attempts per request (1 = fail on the first loss,
+        the fail-fast mode one-shot probes use).
+    backoff / backoff_cap:
+        Reconnect delay: ``backoff`` seconds doubling per consecutive
+        failure, capped at ``backoff_cap``, ±50% jitter.
+    overloaded_delay:
+        Fallback pause before resending after an ``overloaded``
+        refusal that carried no usable ``retry_after`` hint.
+    sleep / rng:
+        Injection points for tests (defaults: :func:`time.sleep`,
+        :func:`random.random`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        max_attempts: int = 3,
+        backoff: float = 0.2,
+        backoff_cap: float = 2.0,
+        overloaded_delay: float = 0.2,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] = random.random,
+    ):
+        if timeout <= 0:
+            raise ClientError(f"timeout must be positive, got {timeout}")
+        if max_attempts < 1:
+            raise ClientError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.max_attempts = int(max_attempts)
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self.overloaded_delay = float(overloaded_delay)
+        self._sleep = sleep
+        self._rng = rng
+        #: Successful dials over the client's lifetime.
+        self.connects = 0
+        #: Successful dials that *replaced* a lost connection.
+        self.reconnects = 0
+        #: Transport-failure retries (not overload waits).
+        self.retries = 0
+        #: ``overloaded`` refusals honoured with a pause + resend.
+        self.overloaded_waits = 0
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._stream: Optional[TextIO] = None
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def _connect(self, timeout: float) -> None:
+        """Dial if not connected (lazy: the first request connects)."""
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout
+        )
+        self._sock = sock
+        self._stream = sock.makefile("r", encoding="utf-8")
+        self.connects += 1
+        if self.connects > 1:
+            self.reconnects += 1
+
+    def _drop(self) -> None:
+        """Discard the connection (next request re-dials)."""
+        stream, self._stream = self._stream, None
+        sock, self._sock = self._sock, None
+        for closable in (stream, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:  # pragma: no cover - teardown best effort
+                    pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, failures: int) -> float:
+        """Jittered exponential delay after ``failures`` consecutive
+        transport losses (±50% around the capped exponential)."""
+        # The exponent is clamped so a long outage cannot overflow the
+        # float conversion — the cap dominates long before 2**16 anyway.
+        base = min(
+            self.backoff_cap, self.backoff * (2 ** min(failures - 1, 16))
+        )
+        return base * (0.5 + self._rng())
+
+    def _pause(self, delay: float) -> None:
+        if delay > 0:
+            self._sleep(delay)
+
+    def request(
+        self, payload: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Send one request line, return the response object.
+
+        One total deadline (``timeout`` or the client default) covers
+        everything — dialling, transport retries, backoff pauses and
+        ``overloaded`` waits.  Transport losses retry up to
+        ``max_attempts`` times; an ``overloaded`` refusal waits and
+        resends without consuming an attempt (the server explicitly
+        asked for that).  Raises :class:`ClientError` when the deadline
+        or the attempt budget is exhausted, or on a response no retry
+        can fix.  Non-``ok`` responses other than ``overloaded`` are
+        *returned*, not raised — their meaning belongs to the caller.
+        """
+        budget = self.timeout if timeout is None else float(timeout)
+        if budget <= 0:
+            raise ClientError(f"timeout must be positive, got {budget}")
+        deadline = time.monotonic() + budget
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        data = line.encode() + b"\n"
+        failures = 0
+        with self._lock:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ClientError(
+                        f"deadline of {budget:g}s exhausted talking to "
+                        f"{self.host}:{self.port}"
+                    )
+                try:
+                    self._connect(remaining)
+                    assert self._sock is not None and self._stream is not None
+                    self._sock.settimeout(remaining)
+                    self._sock.sendall(data)
+                    raw = self._stream.readline()
+                except OSError as exc:
+                    self._drop()
+                    failures += 1
+                    if failures >= self.max_attempts:
+                        raise ClientError(
+                            f"cannot reach a server at "
+                            f"{self.host}:{self.port}: {exc}"
+                        ) from None
+                    self.retries += 1
+                    self._pause(min(
+                        self._backoff_delay(failures),
+                        max(0.0, deadline - time.monotonic()),
+                    ))
+                    continue
+                if not raw.strip():
+                    # EOF: the peer closed the stream under the request
+                    # (server restart) — same transport meaning as a
+                    # reset, so it retries the same way.
+                    self._drop()
+                    failures += 1
+                    if failures >= self.max_attempts:
+                        raise ClientError(
+                            f"no response from {self.host}:{self.port} "
+                            f"(connection closed)"
+                        )
+                    self.retries += 1
+                    self._pause(min(
+                        self._backoff_delay(failures),
+                        max(0.0, deadline - time.monotonic()),
+                    ))
+                    continue
+                try:
+                    response = json.loads(raw)
+                except ValueError as exc:
+                    self._drop()
+                    raise ClientError(
+                        f"malformed response from {self.host}:{self.port}: "
+                        f"{exc}"
+                    ) from None
+                if not isinstance(response, dict):
+                    self._drop()
+                    raise ClientError(
+                        f"response line must hold a JSON object, got "
+                        f"{type(response).__name__}"
+                    )
+                if not response.get("ok") and response.get("code") == "overloaded":
+                    # Backpressure, not failure: the server refused to
+                    # queue this request.  Wait the suggested interval
+                    # (bounded by the deadline) and resend.
+                    self.overloaded_waits += 1
+                    hint = response.get("retry_after")
+                    delay = (
+                        float(hint)
+                        if isinstance(hint, (int, float))
+                        and not isinstance(hint, bool)
+                        and hint >= 0
+                        else self.overloaded_delay
+                    )
+                    self._pause(min(
+                        delay, max(0.0, deadline - time.monotonic())
+                    ))
+                    continue
+                return response
+
+    # ------------------------------------------------------------------
+    # Stats polling
+    # ------------------------------------------------------------------
+    def stats(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """One validated ``{"type": "stats"}`` probe → the stats object.
+
+        Works against both the serving front-end and the dispatcher;
+        refusals and shape violations raise :class:`ClientError`.
+        """
+        response = self.request({"type": "stats"}, timeout=timeout)
+        if not response.get("ok"):
+            raise ClientError(
+                f"stats probe refused: {response.get('error')}"
+            )
+        stats = response.get("stats")
+        if not isinstance(stats, dict):
+            raise ClientError("stats response lacks a 'stats' object")
+        return stats
+
+    def watch_stats(
+        self, interval: float = 1.0, iterations: int = 0
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield stats snapshots every ``interval`` seconds.
+
+        ``iterations=0`` polls forever (the dashboard loop); a positive
+        count stops after that many snapshots.  The pause between
+        snapshots uses the injectable ``sleep``, so scripted tests can
+        drain a finite watch instantly.
+        """
+        if interval <= 0:
+            raise ClientError(f"interval must be positive, got {interval}")
+        count = 0
+        while True:
+            yield self.stats()
+            count += 1
+            if iterations and count >= iterations:
+                return
+            self._sleep(interval)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "connected" if self._sock is not None else "idle"
+        return f"ResilientClient({self.host}:{self.port}, {state})"

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import socket
 import sys
 from typing import Any, Dict, Iterable, List, Optional, Set, TextIO
 
@@ -48,22 +47,38 @@ STREAM_LIMIT = 1 << 20
 #: the ground; well-behaved clients window their pipeline below it.
 DEFAULT_MAX_INFLIGHT = 64
 
+#: ``retry_after`` hint (seconds) attached to ``overloaded`` refusals —
+#: long enough for a pipelined window to drain a few answers, short
+#: enough that an honouring client (:class:`~repro.serving.client.
+#: ResilientClient`) barely notices.
+OVERLOADED_RETRY_AFTER = 0.05
+
 
 def _dumps(payload: Dict[str, Any]) -> str:
     """Canonical one-line JSON (stable key order, no stray whitespace)."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def _error(request_id: Optional[str], message: str, code: str) -> str:
+def _error(
+    request_id: Optional[str],
+    message: str,
+    code: str,
+    retry_after: Optional[float] = None,
+) -> str:
     """One structured error line.
 
     ``code`` is the machine-readable half of the error contract
     (``bad_request`` / ``overloaded`` / ``protocol`` / ``internal``);
     ``error`` stays the human-readable message clients log.
+    ``retry_after`` (seconds) rides along on refusals the client should
+    simply wait out — an additive field old clients ignore.
     """
-    return _dumps(
-        {"ok": False, "id": request_id, "error": message, "code": code}
-    )
+    payload: Dict[str, Any] = {
+        "ok": False, "id": request_id, "error": message, "code": code,
+    }
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    return _dumps(payload)
 
 
 def _peek_request_id(line: str) -> Optional[str]:
@@ -246,6 +261,7 @@ async def _serve_connection(
                     f"overloaded: {max_inflight} requests already in "
                     "flight on this connection",
                     "overloaded",
+                    retry_after=OVERLOADED_RETRY_AFTER,
                 ))
                 continue
             task = asyncio.create_task(answer(line))
@@ -302,29 +318,20 @@ def request_stats(host: str, port: int, timeout: float = 10.0) -> Dict[str, Any]
     ``{"type": "stats"}`` with ``{"ok": true, "stats": {...}}`` — and
     returns the ``stats`` object.  This is the ``--stats`` probe of
     both CLIs.
+
+    One-shot and fail-fast by design: a single attempt within
+    ``timeout``, errors raised immediately — probe callers (autoscale
+    controllers, shell scripts) time their own retries.  Long-lived
+    pollers should hold a
+    :class:`~repro.serving.client.ResilientClient` instead, which is
+    what this function wraps.
     """
-    try:
-        with socket.create_connection((host, port), timeout=timeout) as sock:
-            sock.sendall(b'{"type":"stats"}\n')
-            with sock.makefile("r", encoding="utf-8") as stream:
-                line = stream.readline()
-    except OSError as exc:
-        raise ReproError(
-            f"cannot reach a server at {host}:{port}: {exc}"
-        ) from None
-    if not line.strip():
-        raise ReproError(f"no stats response from {host}:{port}")
-    try:
-        payload = json.loads(line)
-    except ValueError as exc:
-        raise ReproError(f"malformed stats response: {exc}") from None
-    if not isinstance(payload, dict) or not payload.get("ok"):
-        detail = payload.get("error") if isinstance(payload, dict) else payload
-        raise ReproError(f"stats probe refused: {detail}")
-    stats = payload.get("stats")
-    if not isinstance(stats, dict):
-        raise ReproError("stats response lacks a 'stats' object")
-    return stats
+    from repro.serving.client import ResilientClient
+
+    with ResilientClient(
+        host, port, timeout=timeout, max_attempts=1
+    ) as client:
+        return client.stats()
 
 
 def _format_value(value: Any) -> str:

@@ -1,0 +1,165 @@
+"""Unit tests of the durable run journal (write-ahead log + replay).
+
+Everything here is single-process: append records the way the
+dispatcher would, then replay the file and assert what a recovering
+dispatcher would see.  The end-to-end crash/restart story lives in
+``test_recovery.py``; the edge cases — torn final lines, duplicate and
+orphan completions, job kinds this build cannot rebuild — live here,
+where each can be constructed byte-exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.distributed import RunJournal, margin_tally_jobs
+from repro.distributed.journal import JOURNAL_VERSION, job_address
+
+VDD = 0.7
+
+
+@pytest.fixture()
+def jobs(dist_analyzer):
+    resolved = dist_analyzer.resolved()
+    return list(margin_tally_jobs(resolved, VDD, resolved.shard_plan(shards=3)))
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    with RunJournal(str(tmp_path / "journal")) as j:
+        yield j
+
+
+class TestRoundTrip:
+    def test_jobs_and_done_partition(self, journal, jobs):
+        journal.open_session()
+        for job in jobs:
+            journal.record_job(job, "alice", 5)
+        journal.record_done(jobs[0])
+        replay = journal.replay()
+        assert replay.records == 5  # open + 3 jobs + 1 done
+        assert [e.job.job_id for e in replay.done] == [jobs[0].job_id]
+        assert [e.job.job_id for e in replay.pending] == [
+            jobs[1].job_id, jobs[2].job_id,
+        ]
+        assert replay.torn == 0 and replay.orphan_done == 0
+        assert replay.unknown == []
+        # The journaled spec round-trips the full wire form, and the
+        # scheduling identity rides along.
+        entry = replay.done[0]
+        assert entry.job.to_wire() == jobs[0].to_wire()
+        assert entry.client == "alice" and entry.priority == 5
+
+    def test_open_record_carries_schema_version(self, journal):
+        journal.open_session()
+        (line,) = journal.path.read_text().splitlines()
+        record = json.loads(line)
+        assert record["rec"] == "open"
+        assert record["version"] == JOURNAL_VERSION
+
+    def test_replay_of_absent_file_is_empty(self, tmp_path):
+        replay = RunJournal(str(tmp_path / "fresh")).replay()
+        assert replay.pending == [] and replay.done == []
+        assert replay.records == 0
+
+    def test_journal_errors_fail_open(self, journal, jobs):
+        """A dead handle (stand-in for a full disk) must not raise out
+        of the append path — durability degrades, the run survives."""
+        journal.open_session()
+        journal._handle.close()
+        journal.record_done(jobs[0])
+        assert journal.errors == 1
+
+    def test_fsync_journal_appends_identically(self, tmp_path, jobs):
+        with RunJournal(str(tmp_path), fsync=True) as fsynced:
+            fsynced.record_job(jobs[0], "alice", 0)
+        replay = RunJournal(str(tmp_path)).replay()
+        assert [e.job.job_id for e in replay.pending] == [jobs[0].job_id]
+
+
+class TestReplayTolerance:
+    def test_torn_final_line_is_skipped(self, journal, jobs):
+        """The mid-write crash shape: the final line stops mid-token.
+        Replay must count it and keep every record before it."""
+        for job in jobs:
+            journal.record_job(job, "alice", 0)
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"rec": "done", "job_id": "mt-')
+        replay = journal.replay()
+        assert replay.torn == 1
+        assert len(replay.pending) == 3 and replay.done == []
+
+    def test_non_object_line_counts_as_torn(self, journal):
+        journal.close()
+        journal.path.write_text('[1, 2, 3]\n"just a string"\n')
+        replay = journal.replay()
+        assert replay.torn == 2 and replay.records == 2
+
+    def test_duplicate_done_is_idempotent(self, journal, jobs):
+        """Overlapping sessions can journal one completion twice (the
+        store-hit fast path of a resubmitted job); the job must still
+        land in ``done`` exactly once."""
+        journal.record_job(jobs[0], "alice", 0)
+        journal.record_done(jobs[0])
+        journal.record_done(jobs[0])
+        replay = journal.replay()
+        assert len(replay.done) == 1
+        assert replay.orphan_done == 0
+
+    def test_orphan_done_is_counted_not_replayed(self, journal, jobs):
+        journal.record_done(jobs[0])  # no matching job record
+        replay = journal.replay()
+        assert replay.orphan_done == 1
+        assert replay.pending == [] and replay.done == []
+
+    def test_duplicate_job_record_first_wins(self, journal, jobs):
+        journal.record_job(jobs[0], "alice", 0)
+        journal.record_job(jobs[0], "bob", 9)
+        replay = journal.replay()
+        (entry,) = replay.pending
+        assert entry.client == "alice" and entry.priority == 0
+
+    def test_unknown_job_kind_lands_in_unknown(self, journal, jobs):
+        """A journal written by a newer/foreign build can hold kinds
+        this build cannot rebuild — skipped with identity, not fatal."""
+        alien = dict(jobs[0].to_wire(), kind="alien_kind", job_id="alien-0")
+        journal._append({"rec": "job", "job": alien, "client": "x",
+                         "priority": 0})
+        journal.record_job(jobs[1], "alice", 0)
+        replay = journal.replay()
+        assert [e.job.job_id for e in replay.pending] == [jobs[1].job_id]
+        (unknown,) = replay.unknown
+        assert unknown["job_id"] == "alien-0"
+        assert "alien_kind" in unknown["error"]
+
+    def test_future_record_kinds_are_ignored(self, journal, jobs):
+        journal._append({"rec": "checkpoint", "epoch": 7})
+        journal.record_job(jobs[0], "alice", 0)
+        replay = journal.replay()
+        assert replay.records == 2
+        assert len(replay.pending) == 1 and replay.torn == 0
+
+    def test_malformed_scheduling_identity_falls_back(self, journal, jobs):
+        """A job record with a mangled client/priority still replays —
+        under the defaults, not as a torn line."""
+        journal._append({
+            "rec": "job", "job": jobs[0].to_wire(),
+            "client": 42, "priority": "high",
+        })
+        (entry,) = journal.replay().pending
+        assert entry.client == "journal" and entry.priority == 0
+
+
+class TestJobAddress:
+    def test_same_content_different_ids_share_an_address(self, dist_analyzer):
+        """Job ids are per-invocation tags; the content address is what
+        survives a restart — the whole adoption mechanism rests here."""
+        resolved = dist_analyzer.resolved()
+        plan = resolved.shard_plan(shards=3)
+        first = margin_tally_jobs(resolved, VDD, plan)
+        second = margin_tally_jobs(resolved, VDD, plan)
+        for a, b in zip(first, second):
+            assert a.job_id != b.job_id
+            assert job_address(a) == job_address(b)
+        assert len({job_address(j) for j in first}) == len(first)

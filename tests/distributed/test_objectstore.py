@@ -1,7 +1,10 @@
 """Tests of the S3-style object-store backend and its in-process fake."""
 
 import json
+import threading
 import urllib.request
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
 
@@ -58,9 +61,14 @@ class TestRoundTrip:
 
 class TestDegradation:
     def test_unreachable_store_reads_as_miss_with_error(self):
-        dead = ObjectStore("http://127.0.0.1:1/repro-cache", timeout=0.5)
+        dead = ObjectStore(
+            "http://127.0.0.1:1/repro-cache", timeout=0.5, retry_delay=0.0
+        )
         assert dead.get("ns", {"k": 1}) is None
-        assert dead.tier.errors == 1
+        # Both attempts failed (the transient-error retry fired once),
+        # and the read still degraded to exactly one miss.
+        assert dead.tier.errors == 2
+        assert dead.tier.retries == 1
         assert dead.tier.misses == 1
 
     def test_unreachable_store_put_raises(self):
@@ -101,6 +109,75 @@ class TestDegradation:
             ObjectStore("not-a-url")
         with pytest.raises(ValueError, match="timeout"):
             ObjectStore("http://host/prefix", timeout=0.0)
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Answers GETs from a scripted status sequence, then serves the
+    document — the dying-proxy / restarting-backend shape the transient
+    retry exists for."""
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler contract
+        script = self.server.script  # type: ignore[attr-defined]
+        if script:
+            self.send_response(script.pop(0))
+            self.end_headers()
+            return
+        body = json.dumps(
+            {"value": self.server.value}  # type: ignore[attr-defined]
+        ).encode()
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+
+@contextmanager
+def flaky_server(script, value="payload"):
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+    httpd.script = list(script)  # type: ignore[attr-defined]
+    httpd.value = value  # type: ignore[attr-defined]
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield ObjectStore(f"http://{host}:{port}/repro-cache", retry_delay=0.0)
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+class TestTransientRetry:
+    def test_one_transient_5xx_is_retried_and_recovered(self):
+        with flaky_server([500]) as store:
+            assert store.get("ns", {"k": 1}) == "payload"
+        assert store.tier.retries == 1
+        assert store.tier.errors == 1
+        assert store.tier.hits == 1 and store.tier.misses == 0
+
+    def test_persistent_5xx_degrades_to_a_miss_after_one_retry(self):
+        with flaky_server([503, 503]) as store:
+            assert store.get("ns", {"k": 1}) is None
+        assert store.tier.retries == 1
+        assert store.tier.errors == 2
+        assert store.tier.misses == 1
+
+    def test_client_errors_are_not_retried(self):
+        """A 4xx is the store's verdict on *this request* — retrying
+        the same bytes cannot change it."""
+        with flaky_server([403]) as store:
+            assert store.get("ns", {"k": 1}) is None
+        assert store.tier.retries == 0
+        assert store.tier.errors == 1
+
+    def test_404_stays_a_clean_miss(self):
+        with flaky_server([404]) as store:
+            assert store.get("ns", {"k": 1}) is None
+        assert store.tier.retries == 0
+        assert store.tier.errors == 0
+        assert store.tier.misses == 1
 
 
 class TestRemoteStats:

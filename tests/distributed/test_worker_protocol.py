@@ -142,6 +142,179 @@ class TestWelcomeValidation:
         assert "heartbeat_interval" in capsys.readouterr().out
 
 
+class MultiSessionDispatcher:
+    """Serves a scripted *sequence* of sessions on one port — the
+    restart shapes a reconnecting worker must ride out.
+
+    Behaviors, one per accepted connection:
+
+    * ``"serve"`` — welcome, answer the first ``ready`` with
+      ``shutdown`` (a clean session).
+    * ``"drop"`` — welcome, then sever the connection: the worker sees
+      EOF *after* registering, the dispatcher-restart shape.
+    * ``"reject"`` — refuse registration with an error document, the
+      version-skew shape (must stay fatal even under ``reconnect``).
+    """
+
+    def __init__(self, sessions, port=0):
+        self.sessions = list(sessions)
+        self.registers = []
+        self.host = "127.0.0.1"
+        self.port = port
+        self._ready = threading.Event()
+        self._thread = None
+
+    def __enter__(self):
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve()), daemon=True
+        )
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "scripted dispatcher never bound"
+        return self
+
+    def __exit__(self, *exc):
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive(), "scripted dispatcher hung"
+
+    async def _serve(self):
+        remaining = list(self.sessions)
+        done = asyncio.Event()
+
+        async def handle(reader, writer):
+            behavior = remaining.pop(0) if remaining else "serve"
+            try:
+                self.registers.append(await recv_message(reader))
+                if behavior == "reject":
+                    await send_message(
+                        writer, {"type": "error", "error": "version skew"}
+                    )
+                    return
+                await send_message(writer, GOOD_WELCOME)
+                if behavior == "drop":
+                    return
+                while True:
+                    message = await recv_message(reader)
+                    if message is None:
+                        return
+                    if message.get("type") == "ready":
+                        await send_message(writer, {"type": "shutdown"})
+            except (ProtocolError, ConnectionError, OSError):
+                pass
+            finally:
+                writer.close()
+                if not remaining:
+                    done.set()
+
+        server = await asyncio.start_server(
+            handle, self.host, self.port, limit=STREAM_LIMIT
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await asyncio.wait_for(done.wait(), timeout=30)
+
+
+def _free_port():
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestReconnect:
+    def test_rides_out_a_dispatcher_restart(self):
+        """EOF after registration, then a healthy dispatcher on the
+        same port: the worker re-registers and serves to shutdown."""
+        with MultiSessionDispatcher(["drop", "serve"]) as d:
+            worker = Worker(
+                d.host, d.port, name="phoenix",
+                reconnect=True, reconnect_backoff=0.02,
+            )
+            assert _run(worker) == 0
+        assert worker.reconnects == 1
+        assert [r["name"] for r in d.registers] == ["phoenix", "phoenix"]
+
+    def test_without_reconnect_eof_is_a_clean_exit(self):
+        """The historical contract: a gone dispatcher ends a default
+        worker cleanly (it served until the dispatcher stopped)."""
+        with MultiSessionDispatcher(["drop"]) as d:
+            worker = Worker(d.host, d.port)
+            assert _run(worker) == 0
+        assert worker.reconnects == 0
+
+    def test_exhausted_attempts_raise_connection_error(self):
+        worker = Worker(
+            "127.0.0.1", _free_port(),
+            reconnect=True, reconnect_backoff=0.01,
+            reconnect_max_attempts=2,
+        )
+        with pytest.raises(ConnectionError, match="2 reconnect attempts"):
+            _run(worker)
+
+    def test_run_worker_exits_1_only_after_exhaustion(self, capsys):
+        assert run_worker(
+            "127.0.0.1", _free_port(),
+            reconnect=True, reconnect_backoff=0.01,
+            reconnect_max_attempts=1,
+        ) == 1
+        assert "reconnect attempts" in capsys.readouterr().out
+
+    def test_dials_until_the_dispatcher_appears(self):
+        """A worker started before its dispatcher binds keeps dialing
+        instead of dying — fleet and control plane can start in any
+        order."""
+        port = _free_port()
+        worker = Worker(
+            "127.0.0.1", port, name="early",
+            reconnect=True, reconnect_backoff=0.05,
+        )
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.update(rc=_run(worker)), daemon=True
+        )
+        thread.start()
+        import time
+
+        time.sleep(0.2)  # let a few dials fail first
+        with MultiSessionDispatcher(["serve"], port=port) as d:
+            thread.join(timeout=20)
+        assert not thread.is_alive(), "worker never reached the dispatcher"
+        assert result["rc"] == 0
+        assert d.registers and d.registers[0]["name"] == "early"
+
+    def test_protocol_errors_stay_fatal_under_reconnect(self):
+        """A dispatcher this worker cannot understand must not be
+        re-dialled — version skew is not an outage."""
+        with MultiSessionDispatcher(["reject"]) as d:
+            worker = Worker(d.host, d.port, reconnect=True,
+                            reconnect_backoff=0.01)
+            with pytest.raises(ProtocolError, match="rejected registration"):
+                _run(worker)
+        assert len(d.registers) == 1
+
+
+class TestDrainAckTimeout:
+    def test_default_is_the_protocol_constant(self):
+        from repro.distributed.protocol import DRAIN_ACK_TIMEOUT
+
+        assert DRAIN_ACK_TIMEOUT == 10.0
+        assert Worker("h", 1).ack_timeout == DRAIN_ACK_TIMEOUT
+
+    def test_knob_bounds_the_silent_peer_wait(self):
+        """A silent dispatcher cannot hold a draining worker past the
+        configured ack timeout (the old hardcoded wait was 10s)."""
+        import time
+
+        async def scenario():
+            worker = Worker("127.0.0.1", 1, ack_timeout=0.05)
+            await worker._await_drain_ack(asyncio.StreamReader())
+
+        start = time.monotonic()
+        asyncio.run(scenario())
+        assert time.monotonic() - start < 5.0
+
+
 class TestWorkerCliRoundTrip:
     def test_ttl_zero_composes_tiered_store(self, tmp_path, monkeypatch):
         """Satellite regression: ``--ttl 0`` is a real tiering request

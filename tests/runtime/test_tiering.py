@@ -67,8 +67,8 @@ class TestTierStats:
         assert out["get_seconds"] == 0.123457
         assert set(out) == {
             "hits", "misses", "puts", "bytes_read", "bytes_written",
-            "errors", "evictions", "expirations", "get_seconds",
-            "put_seconds",
+            "errors", "retries", "evictions", "expirations",
+            "get_seconds", "put_seconds",
         }
 
     def test_value_bytes_is_canonical(self):
